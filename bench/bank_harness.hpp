@@ -1,0 +1,197 @@
+// The paper's bank micro-benchmark (§5.5), shared by bench_fig6/bench_fig7
+// and the bank example.
+//
+// Setup, following the paper exactly:
+//  * 1,000 accounts.
+//  * Transfer: withdraw from one account, deposit to another (small update
+//    transaction).
+//  * Compute-Total: sum of all account balances (long transaction), in two
+//    variants — read-only, or an update writing "private but transactional
+//    state" (a sink object only Compute-Total touches).
+//  * Thread 0 runs transfers with 80% probability and Compute-Total with
+//    20%; all other threads run only transfers.
+//
+// Long transactions that cannot commit within an attempt budget are
+// abandoned and counted as failed episodes — under LSA with update
+// Compute-Total this is the common case (the Figure 7 collapse); retrying
+// forever would wedge the thread instead of measuring the starvation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "lsa/lsa.hpp"
+#include "util/rng.hpp"
+#include "zstm/zstm.hpp"
+
+namespace zstm::bench {
+
+struct BankParams {
+  int accounts = 1000;
+  int threads = 1;
+  std::chrono::milliseconds duration{200};
+  bool update_total = false;
+  double long_probability = 0.2;
+  std::uint32_t long_attempt_budget = 24;
+  std::uint64_t seed = 9;
+};
+
+struct BankResult {
+  double compute_total_per_s = 0;
+  double transfer_per_s = 0;
+  std::uint64_t compute_total_commits = 0;
+  std::uint64_t compute_total_failures = 0;  // budget-exhausted episodes
+  std::uint64_t transfer_commits = 0;
+};
+
+/// LSA-STM bank (baseline). `track_ro_readsets = false` gives the paper's
+/// "LSA-STM (no readsets)" variant.
+class LsaBank {
+ public:
+  LsaBank(const BankParams& p, bool track_ro_readsets) {
+    lsa::Config cfg;
+    cfg.max_threads = p.threads + 2;
+    cfg.track_readonly_readsets = track_ro_readsets;
+    rt_ = std::make_unique<lsa::Runtime>(cfg);
+    for (int i = 0; i < p.accounts; ++i) {
+      accounts_.push_back(rt_->make_var<long>(1000));
+    }
+    sink_ = rt_->make_var<long>(0);
+  }
+
+  using Ctx = std::unique_ptr<lsa::ThreadCtx>;
+  Ctx attach() { return rt_->attach(); }
+
+  void transfer(lsa::ThreadCtx& th, std::size_t from, std::size_t to,
+                long amount) {
+    rt_->run(th, [&](lsa::Tx& tx) {
+      tx.write(accounts_[from]) -= amount;
+      tx.write(accounts_[to]) += amount;
+    });
+  }
+
+  bool compute_total(lsa::ThreadCtx& th, bool update,
+                     std::uint32_t attempt_budget) {
+    for (std::uint32_t a = 0; a < attempt_budget; ++a) {
+      lsa::Tx& tx = th.begin(/*read_only=*/!update);
+      try {
+        long total = 0;
+        for (auto& acc : accounts_) total += tx.read(acc);
+        if (update) tx.write(sink_, total);
+        th.commit();
+        return true;
+      } catch (const lsa::TxAborted&) {
+        // retry within budget
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<lsa::Runtime> rt_;
+  std::vector<lsa::Var<long>> accounts_;
+  lsa::Var<long> sink_;
+};
+
+/// Z-STM bank: transfers are short transactions, Compute-Total is long.
+class ZBank {
+ public:
+  explicit ZBank(const BankParams& p) {
+    zl::Config cfg;
+    cfg.lsa.max_threads = p.threads + 2;
+    rt_ = std::make_unique<zl::Runtime>(cfg);
+    for (int i = 0; i < p.accounts; ++i) {
+      accounts_.push_back(rt_->make_var<long>(1000));
+    }
+    sink_ = rt_->make_var<long>(0);
+  }
+
+  using Ctx = std::unique_ptr<zl::ThreadCtx>;
+  Ctx attach() { return rt_->attach(); }
+
+  void transfer(zl::ThreadCtx& th, std::size_t from, std::size_t to,
+                long amount) {
+    rt_->run_short(th, [&](zl::ShortTx& tx) {
+      tx.write(accounts_[from]) -= amount;
+      tx.write(accounts_[to]) += amount;
+    });
+  }
+
+  bool compute_total(zl::ThreadCtx& th, bool update,
+                     std::uint32_t attempt_budget) {
+    for (std::uint32_t a = 0; a < attempt_budget; ++a) {
+      zl::LongTx& tx = th.begin_long();
+      try {
+        long total = 0;
+        for (auto& acc : accounts_) total += tx.read(acc);
+        if (update) tx.write(sink_, total);
+        th.commit_long();
+        return true;
+      } catch (const zl::TxAborted&) {
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<zl::Runtime> rt_;
+  std::vector<lsa::Var<long>> accounts_;
+  lsa::Var<long> sink_;
+};
+
+template <typename Bank>
+BankResult run_bank(Bank& bank, const BankParams& p) {
+  std::atomic<std::uint64_t> ct_commits{0};
+  std::atomic<std::uint64_t> ct_failures{0};
+  std::atomic<std::uint64_t> tr_commits{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < p.threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto th = bank.attach();
+      util::Xorshift rng(p.seed + static_cast<std::uint64_t>(t) * 1609);
+      std::uint64_t my_ct = 0, my_ct_fail = 0, my_tr = 0;
+      const auto n = static_cast<std::uint64_t>(p.accounts);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (t == 0 && rng.chance(p.long_probability)) {
+          if (bank.compute_total(*th, p.update_total, p.long_attempt_budget)) {
+            ++my_ct;
+          } else {
+            ++my_ct_fail;
+          }
+        } else {
+          const std::size_t from = rng.next_below(n);
+          std::size_t to = rng.next_below(n);
+          if (to == from) to = (to + 1) % n;
+          bank.transfer(*th, from, to, 1 + static_cast<long>(rng.next_below(90)));
+          ++my_tr;
+        }
+      }
+      ct_commits.fetch_add(my_ct);
+      ct_failures.fetch_add(my_ct_fail);
+      tr_commits.fetch_add(my_tr);
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(p.duration);
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  BankResult r;
+  r.compute_total_commits = ct_commits.load();
+  r.compute_total_failures = ct_failures.load();
+  r.transfer_commits = tr_commits.load();
+  r.compute_total_per_s = static_cast<double>(r.compute_total_commits) / secs;
+  r.transfer_per_s = static_cast<double>(r.transfer_commits) / secs;
+  return r;
+}
+
+}  // namespace zstm::bench

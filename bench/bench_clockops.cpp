@@ -1,0 +1,109 @@
+// Clock-operation costs (§4.3): "storing, updating, and comparing vector
+// timestamps is significantly costlier than managing a single counter",
+// and REV plausible clocks interpolate between the two.
+#include <benchmark/benchmark.h>
+
+#include "timebase/plausible_clock.hpp"
+#include "timebase/vector_clock.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using zstm::timebase::RevDomain;
+using zstm::timebase::RevStamp;
+using zstm::timebase::VcDomain;
+using zstm::timebase::VcStamp;
+
+VcStamp random_vc(VcDomain& dom, zstm::util::Xorshift& rng) {
+  VcStamp s = dom.zero();
+  for (int k = 0; k < s.dimension(); ++k) s[k] = rng.next_below(1000);
+  return s;
+}
+
+void BM_ScalarCompare(benchmark::State& state) {
+  zstm::util::Xorshift rng(1);
+  const std::uint64_t a = rng.next();
+  const std::uint64_t b = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a < b);
+  }
+}
+BENCHMARK(BM_ScalarCompare);
+
+void BM_VcCompare(benchmark::State& state) {
+  VcDomain dom(static_cast<int>(state.range(0)));
+  zstm::util::Xorshift rng(2);
+  const VcStamp a = random_vc(dom, rng);
+  const VcStamp b = random_vc(dom, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compare(b));
+  }
+}
+BENCHMARK(BM_VcCompare)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_VcMerge(benchmark::State& state) {
+  VcDomain dom(static_cast<int>(state.range(0)));
+  zstm::util::Xorshift rng(3);
+  VcStamp a = random_vc(dom, rng);
+  const VcStamp b = random_vc(dom, rng);
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VcMerge)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_VcCopy(benchmark::State& state) {
+  // Every version carries a stamp: copying is the dominant storage cost.
+  VcDomain dom(static_cast<int>(state.range(0)));
+  zstm::util::Xorshift rng(4);
+  const VcStamp a = random_vc(dom, rng);
+  for (auto _ : state) {
+    VcStamp copy = a;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_VcCopy)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_VcAdvance(benchmark::State& state) {
+  // Vector-clock advance is thread-local: no shared state at all.
+  VcDomain dom(32);
+  VcStamp s = dom.zero();
+  for (auto _ : state) {
+    dom.advance(0, s);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_VcAdvance);
+
+void BM_RevCompare(benchmark::State& state) {
+  RevDomain dom(static_cast<int>(state.range(0)), 64);
+  RevStamp a = dom.zero();
+  RevStamp b = dom.zero();
+  zstm::util::Xorshift rng(5);
+  for (int k = 0; k < a.entries(); ++k) {
+    a[k] = rng.next_below(1000);
+    b[k] = rng.next_below(1000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compare(b));
+  }
+}
+BENCHMARK(BM_RevCompare)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RevAdvance(benchmark::State& state) {
+  // REV advance hits a shared per-entry counter (get-and-increment);
+  // contention grows as r shrinks.
+  static RevDomain dom(4, 64);
+  RevStamp s = dom.zero();
+  const int slot = state.thread_index();
+  for (auto _ : state) {
+    dom.advance(slot, s);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_RevAdvance)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// §4.4 / conclusion ablation: "the runtime overhead for managing vector
+// time can be quite significant" and S-STM "is hard and costly to fully
+// support".
+//
+// Same short-transaction workload (random transfer over 64 objects) run on
+// every STM in the library; throughput differences isolate the cost of the
+// time base and of the serializability machinery (visible reads, commit
+// serialization).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "cs/cs.hpp"
+#include "lsa/lsa.hpp"
+#include "sstm/sstm.hpp"
+#include "util/rng.hpp"
+#include "zstm/zstm.hpp"
+
+namespace {
+
+constexpr int kObjects = 64;
+constexpr auto kDuration = std::chrono::milliseconds(200);
+
+template <typename MakeCtx, typename RunTransfer>
+double run_trial(int threads, MakeCtx&& make_ctx, RunTransfer&& run_transfer) {
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto th = make_ctx();
+      zstm::util::Xorshift rng(static_cast<std::uint64_t>(t) + 5);
+      std::uint64_t my = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::size_t a = rng.next_below(kObjects);
+        std::size_t b = rng.next_below(kObjects);
+        if (b == a) b = (b + 1) % kObjects;
+        run_transfer(*th, a, b);
+        ++my;
+      }
+      commits.fetch_add(my);
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(kDuration);
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(commits.load()) / secs;
+}
+
+double lsa_trial(int threads) {
+  zstm::lsa::Config cfg;
+  cfg.max_threads = threads + 2;
+  zstm::lsa::Runtime rt(cfg);
+  std::vector<zstm::lsa::Var<long>> vars;
+  for (int i = 0; i < kObjects; ++i) vars.push_back(rt.make_var<long>(100));
+  return run_trial(
+      threads, [&] { return rt.attach(); },
+      [&](zstm::lsa::ThreadCtx& th, std::size_t a, std::size_t b) {
+        rt.run(th, [&](zstm::lsa::Tx& tx) {
+          tx.write(vars[a]) -= 1;
+          tx.write(vars[b]) += 1;
+        });
+      });
+}
+
+double z_trial(int threads) {
+  zstm::zl::Config cfg;
+  cfg.lsa.max_threads = threads + 2;
+  zstm::zl::Runtime rt(cfg);
+  std::vector<zstm::lsa::Var<long>> vars;
+  for (int i = 0; i < kObjects; ++i) vars.push_back(rt.make_var<long>(100));
+  return run_trial(
+      threads, [&] { return rt.attach(); },
+      [&](zstm::zl::ThreadCtx& th, std::size_t a, std::size_t b) {
+        rt.run_short(th, [&](zstm::zl::ShortTx& tx) {
+          tx.write(vars[a]) -= 1;
+          tx.write(vars[b]) += 1;
+        });
+      });
+}
+
+double cs_vc_trial(int threads) {
+  zstm::cs::Config cfg;
+  cfg.max_threads = threads + 2;
+  auto rt = zstm::cs::make_vc_runtime(cfg);
+  std::vector<zstm::cs::VcRuntime::Var<long>> vars;
+  for (int i = 0; i < kObjects; ++i) vars.push_back(rt->make_var<long>(100));
+  return run_trial(
+      threads, [&] { return rt->attach(); },
+      [&](zstm::cs::VcRuntime::ThreadCtx& th, std::size_t a, std::size_t b) {
+        rt->run(th, [&](zstm::cs::VcRuntime::Tx& tx) {
+          tx.write(vars[a]) -= 1;
+          tx.write(vars[b]) += 1;
+        });
+      });
+}
+
+double cs_rev_trial(int threads, int r) {
+  zstm::cs::Config cfg;
+  cfg.max_threads = threads + 2;
+  auto rt = zstm::cs::make_rev_runtime(r, cfg);
+  std::vector<zstm::cs::RevRuntime::Var<long>> vars;
+  for (int i = 0; i < kObjects; ++i) vars.push_back(rt->make_var<long>(100));
+  return run_trial(
+      threads, [&] { return rt->attach(); },
+      [&](zstm::cs::RevRuntime::ThreadCtx& th, std::size_t a, std::size_t b) {
+        rt->run(th, [&](zstm::cs::RevRuntime::Tx& tx) {
+          tx.write(vars[a]) -= 1;
+          tx.write(vars[b]) += 1;
+        });
+      });
+}
+
+double sstm_trial(int threads) {
+  zstm::sstm::Config cfg;
+  cfg.max_threads = threads + 2;
+  zstm::sstm::Runtime rt(cfg);
+  std::vector<zstm::sstm::Var<long>> vars;
+  for (int i = 0; i < kObjects; ++i) vars.push_back(rt.make_var<long>(100));
+  return run_trial(
+      threads, [&] { return rt.attach(); },
+      [&](zstm::sstm::ThreadCtx& th, std::size_t a, std::size_t b) {
+        rt.run(th, [&](zstm::sstm::Tx& tx) {
+          tx.write(vars[a]) -= 1;
+          tx.write(vars[b]) += 1;
+        });
+      });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Vector-time / serializability overhead ablation (§4.4)\n");
+  std::printf("Transfer workload over %d objects  [tx/s]\n\n", kObjects);
+  std::printf("%8s %12s %12s %12s %12s %12s\n", "threads", "LSA", "Z-STM",
+              "CS(VC)", "CS(REV r=2)", "S-STM");
+  for (int threads : {1, 2, 4}) {
+    std::printf("%8d %12.0f %12.0f %12.0f %12.0f %12.0f\n", threads,
+                lsa_trial(threads), z_trial(threads), cs_vc_trial(threads),
+                cs_rev_trial(threads, 2), sstm_trial(threads));
+  }
+  std::printf("\nExpected shape: LSA ≈ Z-STM (scalar time base) above CS\n"
+              "(vector timestamps on every version) above S-STM (visible\n"
+              "reads + serialized commit validation).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 7 reproduction: bank benchmark with UPDATE Compute-Total
+// transactions (they write "private but transactional state").
+//
+//   Left panel:  Compute-Total throughput — "LSA-STM is not able to execute
+//                them anymore because the probability that an account is
+//                updated during the runtime of the long transaction is very
+//                high. In contrast, Z-STM is able to sustain the
+//                throughput."
+//   Right panel: Transfer throughput — "the transfer throughput does not
+//                decrease as compared to LSA-STM."
+//   Systems:     LSA-STM, Z-STM; threads 1, 2, 8, 16, 32.
+#include <cstdio>
+
+#include "bank_harness.hpp"
+
+namespace {
+
+using zstm::bench::BankParams;
+using zstm::bench::BankResult;
+using zstm::bench::LsaBank;
+using zstm::bench::ZBank;
+
+struct Row {
+  int threads;
+  BankResult lsa;
+  BankResult z;
+};
+
+Row run_row(int threads) {
+  BankParams p;
+  p.threads = threads;
+  p.duration = std::chrono::milliseconds(250);
+  p.update_total = true;
+  Row row;
+  row.threads = threads;
+  {
+    LsaBank bank(p, /*track_ro_readsets=*/true);
+    row.lsa = run_bank(bank, p);
+  }
+  {
+    ZBank bank(p);
+    row.z = run_bank(bank, p);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 7 — Bank benchmark, update Compute-Total\n");
+  std::printf("(Compute-Total additionally writes a private transactional "
+              "sink object)\n\n");
+
+  std::vector<Row> rows;
+  for (int threads : {1, 2, 8, 16, 32}) rows.push_back(run_row(threads));
+
+  std::printf("Compute-Total transactions (update)  [tx/s]\n");
+  std::printf("%8s %14s %14s %22s\n", "threads", "LSA-STM", "Z-STM",
+              "LSA failed episodes");
+  for (const auto& r : rows) {
+    std::printf("%8d %14.1f %14.1f %22llu\n", r.threads,
+                r.lsa.compute_total_per_s, r.z.compute_total_per_s,
+                static_cast<unsigned long long>(r.lsa.compute_total_failures));
+  }
+
+  std::printf("\nTransfer transactions  [tx/s]\n");
+  std::printf("%8s %14s %14s\n", "threads", "LSA-STM", "Z-STM");
+  for (const auto& r : rows) {
+    std::printf("%8d %14.0f %14.0f\n", r.threads, r.lsa.transfer_per_s,
+                r.z.transfer_per_s);
+  }
+  return 0;
+}

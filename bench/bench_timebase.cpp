@@ -1,0 +1,73 @@
+// Time-base ablation (§2): the shared commit counter "does not scale well
+// in larger systems because of contention and cache misses", while
+// synchronized real-time clocks are uncontended.
+//
+// Google-benchmark, multi-threaded: acquiring commit stamps from the shared
+// counter vs. from per-thread simulated synchronized clocks.
+#include <benchmark/benchmark.h>
+
+#include "timebase/global_counter.hpp"
+#include "timebase/scalar_timebase.hpp"
+#include "timebase/sync_clock.hpp"
+
+namespace {
+
+using zstm::timebase::GlobalCounter;
+using zstm::timebase::ScalarTimeBase;
+using zstm::timebase::SyncRealTimeClock;
+
+void BM_CounterAcquireCommitTime(benchmark::State& state) {
+  static GlobalCounter counter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.acquire_commit_time());
+  }
+}
+BENCHMARK(BM_CounterAcquireCommitTime)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_CounterRead(benchmark::State& state) {
+  static GlobalCounter counter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.now());
+  }
+}
+BENCHMARK(BM_CounterRead)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_SyncClockNow(benchmark::State& state) {
+  static SyncRealTimeClock clock(64, std::chrono::nanoseconds(200), 7);
+  const int slot = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.now(slot));
+  }
+}
+BENCHMARK(BM_SyncClockNow)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_SyncClockAcquireStamp(benchmark::State& state) {
+  static SyncRealTimeClock clock(64, std::chrono::nanoseconds(200), 7);
+  const int slot = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.acquire_commit_stamp(slot, 0));
+  }
+}
+BENCHMARK(BM_SyncClockAcquireStamp)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ScalarTimeBaseCounterSnapshot(benchmark::State& state) {
+  static ScalarTimeBase tb;
+  const int slot = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb.now_snapshot(slot));
+  }
+}
+BENCHMARK(BM_ScalarTimeBaseCounterSnapshot)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ScalarTimeBaseSyncSnapshot(benchmark::State& state) {
+  static ScalarTimeBase tb(64, std::chrono::nanoseconds(200), 7);
+  const int slot = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb.now_snapshot(slot));
+  }
+}
+BENCHMARK(BM_ScalarTimeBaseSyncSnapshot)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

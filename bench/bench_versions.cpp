@@ -1,0 +1,107 @@
+// §4.4 ablation: "a TBTM typically needs old object versions to construct a
+// consistent snapshot for a long transaction when objects are being updated
+// concurrently. Keeping multiple copies does not only increase the memory
+// overhead but also the runtime overhead."
+//
+// Long read-only scans (LSA) against a transfer storm, sweeping the number
+// of versions kept per object: deeper histories let the scan commit in the
+// past instead of retrying.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "lsa/lsa.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr int kAccounts = 512;
+constexpr int kWriterThreads = 2;
+constexpr auto kDuration = std::chrono::milliseconds(200);
+
+struct Row {
+  int versions_kept;
+  double scans_per_s;
+  double attempts_per_scan;
+  double transfers_per_s;
+};
+
+Row trial(int versions_kept) {
+  zstm::lsa::Config cfg;
+  cfg.max_threads = kWriterThreads + 3;
+  cfg.versions_kept = versions_kept;
+  zstm::lsa::Runtime rt(cfg);
+  std::vector<zstm::lsa::Var<long>> vars;
+  for (int i = 0; i < kAccounts; ++i) vars.push_back(rt.make_var<long>(10));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> transfers{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriterThreads; ++t) {
+    writers.emplace_back([&, t] {
+      auto th = rt.attach();
+      zstm::util::Xorshift rng(static_cast<std::uint64_t>(t) + 37);
+      std::uint64_t my = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::size_t a = rng.next_below(kAccounts);
+        std::size_t b = rng.next_below(kAccounts);
+        if (b == a) b = (b + 1) % kAccounts;
+        rt.run(*th, [&](zstm::lsa::Tx& tx) {
+          tx.write(vars[a]) -= 1;
+          tx.write(vars[b]) += 1;
+        });
+        ++my;
+      }
+      transfers.fetch_add(my);
+    });
+  }
+
+  std::uint64_t scans = 0;
+  std::uint64_t attempts = 0;
+  volatile long sink = 0;  // keep the scan's result observable
+  auto th = rt.attach();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + kDuration;
+  while (std::chrono::steady_clock::now() < deadline) {
+    long total = 0;
+    attempts += rt.run(
+        *th,
+        [&](zstm::lsa::Tx& tx) {
+          total = 0;
+          for (auto& v : vars) total += tx.read(v);
+        },
+        /*read_only=*/true);
+    ++scans;
+    sink = total;
+  }
+  (void)sink;
+  stop.store(true, std::memory_order_release);
+  for (auto& w : writers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return Row{versions_kept, static_cast<double>(scans) / secs,
+             static_cast<double>(attempts) / static_cast<double>(scans),
+             static_cast<double>(transfers.load()) / secs};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Multi-version depth ablation (§4.4): %d-account read-only\n"
+              "scans against %d transfer threads\n\n",
+              kAccounts, kWriterThreads);
+  std::printf("%10s %14s %20s %16s\n", "versions", "scans/s",
+              "attempts per scan", "transfers/s");
+  for (int k : {1, 2, 4, 8, 16}) {
+    const Row r = trial(k);
+    std::printf("%10d %14.1f %20.2f %16.0f\n", r.versions_kept, r.scans_per_s,
+                r.attempts_per_scan, r.transfers_per_s);
+  }
+  std::printf("\nExpected: attempts per scan fall sharply as more versions\n"
+              "are kept — the scan finds a consistent snapshot in the past\n"
+              "instead of restarting.\n");
+  return 0;
+}

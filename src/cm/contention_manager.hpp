@@ -1,0 +1,63 @@
+// Contention-manager framework.
+//
+// "Conflict arbitration is performed by a configurable module called
+// contention manager, which is responsible for the liveness of the system"
+// (§4.1, following DSTM [4]). Every STM here consults one when a
+// transaction finds an object write-owned by another live transaction.
+//
+// The manager only *decides*; the caller performs the decision (enemy abort
+// via TxDescBase::abort_by_enemy, waiting via Backoff, or self-abort), so a
+// policy can never corrupt protocol state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/txdesc.hpp"
+
+namespace zstm::cm {
+
+enum class Decision {
+  kAbortOther,  // kill the current owner and take over
+  kAbortSelf,   // abort the requesting transaction
+  kWait,        // back off and re-examine the conflict
+};
+
+inline const char* to_string(Decision d) {
+  switch (d) {
+    case Decision::kAbortOther: return "abort-other";
+    case Decision::kAbortSelf: return "abort-self";
+    case Decision::kWait: return "wait";
+  }
+  return "?";
+}
+
+class ContentionManager {
+ public:
+  virtual ~ContentionManager() = default;
+
+  /// Arbitrate a write/write (or open-time) conflict between `me` (the
+  /// requester) and `other` (the current owner). `attempt` counts how many
+  /// times this same conflict has already been re-examined after kWait
+  /// decisions, letting politeness-style policies escalate.
+  virtual Decision arbitrate(const runtime::TxDescBase& me,
+                             const runtime::TxDescBase& other,
+                             std::uint32_t attempt) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+enum class Policy {
+  kAggressive,  // always abort the other transaction
+  kSuicide,     // always abort self
+  kPolite,      // bounded waiting, then abort the other
+  kKarma,       // transaction with more invested work wins
+  kTimestamp,   // older transaction wins (greedy-style)
+};
+
+std::unique_ptr<ContentionManager> make_manager(Policy policy);
+
+const char* policy_name(Policy policy);
+
+}  // namespace zstm::cm

@@ -1,0 +1,33 @@
+// Umbrella header for the z-linearizable transactional memory library.
+//
+// The library reproduces "From Causal to z-Linearizable Transactional
+// Memory" (Riegel, Sturzrehm, Felber, Fetzer — PODC 2007) and exposes four
+// STM runtimes plus their shared substrates:
+//
+//   zstm::lsa::Runtime       — LSA-STM baseline (linearizable TBTM, §2/[8])
+//   zstm::cs::VcRuntime      — CS-STM, causal serializability, vector
+//                              clocks (Algorithm 1)
+//   zstm::cs::RevRuntime     — CS-STM over r-entry plausible clocks (§4.3)
+//   zstm::sstm::Runtime      — S-STM, serializability (§4.2)
+//   zstm::zl::Runtime        — Z-STM, z-linearizability (Algorithms 2 & 3)
+//
+// Common usage pattern (see examples/quickstart.cpp):
+//
+//   zstm::zl::Runtime rt;
+//   auto acc = rt.make_var<long>(100);
+//   auto th = rt.attach();                      // per worker thread
+//   rt.run_short(*th, [&](zstm::zl::ShortTx& tx) {
+//     tx.write(acc, tx.read(acc) + 1);
+//   });
+//   rt.run_long(*th, [&](zstm::zl::LongTx& tx) {
+//     long total = tx.read(acc);
+//     ...
+//   });
+#pragma once
+
+#include "cs/cs.hpp"             // IWYU pragma: export
+#include "history/checkers.hpp"  // IWYU pragma: export
+#include "lsa/lsa.hpp"           // IWYU pragma: export
+#include "sstm/sstm.hpp"         // IWYU pragma: export
+#include "zstm/auto_class.hpp"   // IWYU pragma: export
+#include "zstm/zstm.hpp"         // IWYU pragma: export

@@ -1,0 +1,605 @@
+// CS-STM — the causally serializable STM of §4.1, a line-by-line
+// implementation of Algorithm 1 on top of DSTM-style locators.
+//
+//  * The time base is a vector clock (VcDomain) or an REV plausible clock
+//    (RevDomain, §4.3) — the template parameter. The paper's observation
+//    that plausible clocks drop in "with almost no modifications" holds
+//    literally here: both domains expose zero()/advance() and stamps with
+//    merge()/compare().
+//  * Start:  T.ct ← VCp, the committing thread's last committed timestamp
+//            (Algorithm 1 line 3).
+//  * Open:   T.ct ← element-wise max(T.ct, v.ct) for the current version v
+//            (line 8); writes install a locator (single writer per object,
+//            conflicts arbitrated by the contention manager, lines 10-13)
+//            and duplicate the current version (line 14). Reads are
+//            invisible.
+//  * Validate (lines 20-26): abort iff some read version has a committed
+//            successor whose timestamp strictly precedes T.ct — i.e. the
+//            transaction would both causally precede and follow another.
+//            Successors with concurrent timestamps are tolerated; that is
+//            exactly where causal serializability admits more schedules
+//            than serializability (Figure 1's long transaction commits).
+//  * Commit: increment own component (line 29; skipped for read-only
+//            transactions), publish with the single status CAS, remember
+//            VCp (line 31).
+//
+// Old versions: the paper keeps only the last committed version per object
+// (footnote 1). We retain a short chain purely to *find* the immediate
+// successor of a read version during validation; a transaction whose read
+// version was pruned out aborts conservatively, matching the paper's
+// single-version semantics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cm/contention_manager.hpp"
+#include "history/recorder.hpp"
+#include "runtime/payload.hpp"
+#include "runtime/txdesc.hpp"
+#include "timebase/plausible_clock.hpp"
+#include "timebase/vector_clock.hpp"
+#include "util/backoff.hpp"
+#include "util/ebr.hpp"
+#include "util/stats.hpp"
+#include "util/thread_registry.hpp"
+
+namespace zstm::cs {
+
+struct TxAborted {};
+
+struct Config {
+  int max_threads = 36;
+  /// Committed versions retained per object for successor lookup.
+  int versions_kept = 4;
+  cm::Policy cm_policy = cm::Policy::kPolite;
+  bool record_history = false;
+};
+
+/// Causally serializable STM templated over the clock system.
+/// ClockDomain = timebase::VcDomain (exact) or timebase::RevDomain
+/// (plausible, r entries).
+template <typename ClockDomain>
+class RuntimeT {
+ public:
+  using Stamp = decltype(std::declval<const ClockDomain&>().zero());
+
+  struct Version {
+    explicit Version(runtime::Payload* payload, Stamp stamp)
+        : data(payload), ct(std::move(stamp)) {}
+    ~Version() { delete data; }
+    Version(const Version&) = delete;
+    Version& operator=(const Version&) = delete;
+
+    runtime::Payload* data;
+    /// Commit timestamp of the writing transaction; written before the
+    /// writer's commit CAS, read by others only after observing kCommitted.
+    Stamp ct;
+    std::uint64_t vid = 0;
+    std::atomic<Version*> prev{nullptr};
+  };
+
+  class TxDesc final : public runtime::TxDescBase {
+   public:
+    TxDesc(std::uint64_t id, int slot, Stamp initial)
+        : TxDescBase(id, slot, runtime::TxClass::kShort),
+          ct(std::move(initial)) {}
+    /// The evolving tentative commit timestamp T.ct; owned by the
+    /// transaction's thread until commit, then immutable.
+    Stamp ct;
+  };
+
+  struct Locator {
+    TxDesc* writer = nullptr;
+    Version* tentative = nullptr;
+    Version* committed = nullptr;
+  };
+
+  struct Object {
+    Object() = default;
+    Object(const Object&) = delete;
+    Object& operator=(const Object&) = delete;
+    std::atomic<Locator*> loc{nullptr};
+    std::uint64_t oid = 0;
+  };
+
+  template <typename T>
+  class Var {
+   public:
+    Var() = default;
+    Object* object() const { return obj_; }
+
+   private:
+    friend class RuntimeT;
+    explicit Var(Object* obj) : obj_(obj) {}
+    Object* obj_ = nullptr;
+  };
+
+  struct ReadEntry {
+    Object* obj;
+    Version* version;
+  };
+  struct WriteEntry {
+    Object* obj;
+    Version* tentative;
+  };
+
+  class ThreadCtx;
+
+  class Tx {
+   public:
+    template <typename T>
+    const T& read(const Var<T>& var) {
+      return runtime::payload_as<T>(read_object(*var.object()));
+    }
+    template <typename T>
+    T& write(Var<T>& var) {
+      return runtime::payload_as<T>(write_object(*var.object()));
+    }
+    template <typename T>
+    void write(Var<T>& var, T value) {
+      write(var) = std::move(value);
+    }
+
+    [[noreturn]] void abort() {
+      ctx_.abort_attempt();
+      throw TxAborted{};
+    }
+
+    const Stamp& tentative_ct() const { return desc_->ct; }
+    TxDesc* descriptor() const { return desc_; }
+
+    const runtime::Payload& read_object(Object& o);
+    runtime::Payload& write_object(Object& o);
+
+   private:
+    friend class ThreadCtx;
+    friend class RuntimeT;
+    explicit Tx(ThreadCtx& ctx) : ctx_(ctx) {}
+
+    [[noreturn]] void fail(util::Counter reason) {
+      ctx_.rt_.stats_.add(ctx_.slot(), reason);
+      ctx_.abort_attempt();
+      throw TxAborted{};
+    }
+
+    ThreadCtx& ctx_;
+    TxDesc* desc_ = nullptr;
+    std::vector<ReadEntry> read_set_;
+    std::vector<WriteEntry> write_set_;
+    history::TxRecord rec_;
+  };
+
+  class ThreadCtx {
+   public:
+    ~ThreadCtx() {
+      if (tx_.desc_ != nullptr) abort_attempt();
+    }
+    ThreadCtx(const ThreadCtx&) = delete;
+    ThreadCtx& operator=(const ThreadCtx&) = delete;
+
+    Tx& begin();
+    void commit();
+    void abort_attempt();
+
+    bool in_transaction() const { return tx_.desc_ != nullptr; }
+    int slot() const { return reg_.slot(); }
+    /// VCp: the timestamp of this thread's last committed transaction.
+    const Stamp& last_committed() const { return vcp_; }
+
+   private:
+    friend class RuntimeT;
+    friend class Tx;
+    ThreadCtx(RuntimeT& rt, util::ThreadRegistry::Registration reg)
+        : rt_(rt), reg_(std::move(reg)), tx_(*this), vcp_(rt.domain_.zero()) {}
+
+    void release_ownerships();
+    void finish_attempt(bool committed);
+
+    RuntimeT& rt_;
+    util::ThreadRegistry::Registration reg_;
+    util::EpochManager::Guard epoch_guard_;
+    Tx tx_;
+    Stamp vcp_;
+  };
+
+  RuntimeT(Config cfg, ClockDomain domain)
+      : cfg_(cfg),
+        domain_(std::move(domain)),
+        registry_(cfg.max_threads),
+        epochs_(registry_),
+        stats_(registry_),
+        recorder_(cfg.record_history, cfg.max_threads),
+        cm_(cm::make_manager(cfg.cm_policy)) {}
+
+  ~RuntimeT() {
+    for (auto& obj : objects_) {
+      Locator* l = obj->loc.load(std::memory_order_relaxed);
+      if (l == nullptr) continue;
+      if (l->writer != nullptr && l->tentative != nullptr) {
+        if (l->writer->status(std::memory_order_relaxed) ==
+            runtime::TxStatus::kCommitted) {
+          destroy_chain(l->tentative);
+        } else {
+          delete l->tentative;
+          destroy_chain(l->committed);
+        }
+      } else {
+        destroy_chain(l->committed);
+      }
+      delete l;
+    }
+  }
+
+  RuntimeT(const RuntimeT&) = delete;
+  RuntimeT& operator=(const RuntimeT&) = delete;
+
+  template <typename T>
+  Var<T> make_var(T initial) {
+    auto* version = new Version(new runtime::TypedPayload<T>(std::move(initial)),
+                                domain_.zero());
+    auto* locator = new Locator{nullptr, nullptr, version};
+    auto obj = std::make_unique<Object>();
+    obj->loc.store(locator, std::memory_order_release);
+    obj->oid = object_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
+    Object* raw = obj.get();
+    {
+      std::lock_guard<std::mutex> lk(objects_mutex_);
+      objects_.push_back(std::move(obj));
+    }
+    return Var<T>(raw);
+  }
+
+  std::unique_ptr<ThreadCtx> attach() {
+    return std::unique_ptr<ThreadCtx>(
+        new ThreadCtx(*this, registry_.attach()));
+  }
+
+  template <typename F>
+  std::uint32_t run(ThreadCtx& ctx, F&& body) {
+    util::Backoff bo;
+    for (std::uint32_t attempt = 1;; ++attempt) {
+      Tx& tx = ctx.begin();
+      try {
+        body(tx);
+        ctx.commit();
+        return attempt;
+      } catch (const TxAborted&) {
+        bo.pause();
+      }
+    }
+  }
+
+  const Config& config() const { return cfg_; }
+  const ClockDomain& domain() const { return domain_; }
+  util::StatsSnapshot stats() const { return stats_.snapshot(); }
+  void reset_stats() { stats_.reset(); }
+  history::History collect_history() const { return recorder_.collect(); }
+
+ private:
+  friend class ThreadCtx;
+  friend class Tx;
+
+  enum class OnCommitting { kWait, kFail };
+
+  static void destroy_chain(Version* v) {
+    while (v != nullptr) {
+      Version* p = v->prev.load(std::memory_order_relaxed);
+      delete v;
+      v = p;
+    }
+  }
+
+  void settle(Object& o, Locator* seen, int slot) {
+    if (seen->writer == nullptr) return;
+    const runtime::TxStatus st = seen->writer->status();
+    if (st != runtime::TxStatus::kCommitted &&
+        st != runtime::TxStatus::kAborted) {
+      return;
+    }
+    Version* current = (st == runtime::TxStatus::kCommitted)
+                           ? seen->tentative
+                           : seen->committed;
+    auto* settled = new Locator{nullptr, nullptr, current};
+    Locator* expected = seen;
+    if (o.loc.compare_exchange_strong(expected, settled,
+                                      std::memory_order_acq_rel)) {
+      if (st == runtime::TxStatus::kAborted) {
+        epochs_.retire(slot, seen->tentative);
+      }
+      epochs_.retire(slot, seen);
+      prune(o, slot);
+    } else {
+      delete settled;
+    }
+  }
+
+  Version* resolve(Object& o, const TxDesc* self, OnCommitting mode,
+                   int slot) {
+    util::Backoff bo;
+    for (;;) {
+      Locator* l = o.loc.load(std::memory_order_acquire);
+      if (l->writer == nullptr || l->writer == self) return l->committed;
+      switch (l->writer->status()) {
+        case runtime::TxStatus::kActive:
+          return l->committed;
+        case runtime::TxStatus::kCommitting:
+          if (mode == OnCommitting::kFail) return nullptr;
+          bo.pause();
+          continue;
+        case runtime::TxStatus::kCommitted:
+        case runtime::TxStatus::kAborted:
+          settle(o, l, slot);
+          continue;
+      }
+    }
+  }
+
+  void prune(Object& o, int slot) {
+    Locator* l = o.loc.load(std::memory_order_acquire);
+    Version* v = l->committed;
+    if (v == nullptr) return;
+    for (int depth = 1; depth < cfg_.versions_kept && v != nullptr; ++depth) {
+      v = v->prev.load(std::memory_order_acquire);
+    }
+    if (v == nullptr) return;
+    Version* suffix = v->prev.exchange(nullptr, std::memory_order_acq_rel);
+    if (suffix == nullptr) return;
+    epochs_.retire_raw(slot, suffix, [](void* p) {
+      destroy_chain(static_cast<Version*>(p));
+    });
+  }
+
+  /// Validation core (Algorithm 1 lines 20-26): returns false if some read
+  /// version has a committed successor whose stamp strictly precedes ct.
+  bool validate(Tx& tx, int slot) {
+    for (const auto& r : tx.read_set_) {
+      Version* cur = resolve(*r.obj, tx.desc_, OnCommitting::kFail, slot);
+      if (cur == nullptr) return false;  // mid-commit writer: conservative
+      if (cur == r.version) continue;
+      // Locate the immediate successor v_{i+1} of the version we read.
+      Version* succ = cur;
+      Version* below = succ->prev.load(std::memory_order_acquire);
+      while (below != nullptr && below != r.version) {
+        succ = below;
+        below = succ->prev.load(std::memory_order_acquire);
+      }
+      if (below == nullptr) return false;  // pruned: conservative abort
+      // Successor timestamps grow along the chain, so checking the
+      // immediate successor suffices: if succ.ct ⋠ T.ct then every later
+      // successor (whose stamp dominates succ's) is ⋠ T.ct as well.
+      // Note ≼, not the paper's ≺: a read-only transaction never bumps its
+      // own component, so T.ct can *equal* the successor's stamp after
+      // merging it through another object — the transaction has then seen
+      // the successor's effects elsewhere and must not also read the past.
+      const timebase::Order ord = succ->ct.compare(tx.desc_->ct);
+      if (ord == timebase::Order::kBefore || ord == timebase::Order::kEqual) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static std::vector<std::uint64_t> stamp_to_vector(const Stamp& s) {
+    std::vector<std::uint64_t> out;
+    const int n = stamp_size(s);
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) out.push_back(s[i]);
+    return out;
+  }
+  static int stamp_size(const timebase::VcStamp& s) { return s.dimension(); }
+  static int stamp_size(const timebase::RevStamp& s) { return s.entries(); }
+
+  Config cfg_;
+  ClockDomain domain_;
+  util::ThreadRegistry registry_;
+  util::EpochManager epochs_;
+  util::StatsDomain stats_;
+  history::Recorder recorder_;
+  std::unique_ptr<cm::ContentionManager> cm_;
+  util::PaddedCounter object_ids_;
+  util::PaddedCounter tx_ids_;
+  util::PaddedCounter ticks_;
+  std::mutex objects_mutex_;
+  std::deque<std::unique_ptr<Object>> objects_;
+};
+
+// ---------------------------------------------------------------------------
+// ThreadCtx
+// ---------------------------------------------------------------------------
+
+template <typename D>
+typename RuntimeT<D>::Tx& RuntimeT<D>::ThreadCtx::begin() {
+  if (in_transaction()) abort_attempt();
+  const std::uint64_t id =
+      rt_.tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
+  // T.ct starts from VCp, the last committed timestamp of this thread
+  // (Algorithm 1 line 3).
+  tx_.desc_ = new TxDesc(id, slot(), vcp_);
+  tx_.desc_->set_start_ticks(
+      rt_.ticks_.value.fetch_add(1, std::memory_order_relaxed));
+  epoch_guard_ = rt_.epochs_.pin_guard(slot());
+  tx_.read_set_.clear();
+  tx_.write_set_.clear();
+  if (rt_.recorder_.enabled()) {
+    tx_.rec_ = history::TxRecord{};
+    tx_.rec_.tx_id = id;
+    tx_.rec_.thread_slot = slot();
+    tx_.rec_.begin_seq = rt_.recorder_.tick();
+  }
+  return tx_;
+}
+
+template <typename D>
+void RuntimeT<D>::ThreadCtx::release_ownerships() {
+  for (auto& w : tx_.write_set_) {
+    Locator* l = w.obj->loc.load(std::memory_order_acquire);
+    if (l->writer == tx_.desc_) rt_.settle(*w.obj, l, slot());
+  }
+}
+
+template <typename D>
+void RuntimeT<D>::ThreadCtx::finish_attempt(bool committed) {
+  if (rt_.recorder_.enabled()) {
+    tx_.rec_.committed = committed;
+    tx_.rec_.end_seq = rt_.recorder_.tick();
+    if (committed) tx_.rec_.stamp = RuntimeT::stamp_to_vector(tx_.desc_->ct);
+    rt_.recorder_.record(slot(), std::move(tx_.rec_));
+  }
+  rt_.epochs_.retire(slot(), tx_.desc_);
+  tx_.desc_ = nullptr;
+  epoch_guard_ = util::EpochManager::Guard();
+}
+
+template <typename D>
+void RuntimeT<D>::ThreadCtx::abort_attempt() {
+  tx_.desc_->finish_abort();
+  release_ownerships();
+  rt_.stats_.add(slot(), util::Counter::kAborts);
+  finish_attempt(false);
+}
+
+template <typename D>
+void RuntimeT<D>::ThreadCtx::commit() {
+  Tx& tx = tx_;
+  TxDesc* d = tx.desc_;
+  const int s = slot();
+
+  if (!d->begin_commit()) {
+    abort_attempt();
+    throw TxAborted{};
+  }
+  if (!rt_.validate(tx, s)) {
+    rt_.stats_.add(s, util::Counter::kValidationFails);
+    abort_attempt();
+    throw TxAborted{};
+  }
+  if (rt_.recorder_.enabled()) {
+    tx.rec_.vstamp = RuntimeT::stamp_to_vector(d->ct);  // pre-bump stamp
+  }
+  if (!tx.write_set_.empty()) {
+    // Increment own component (Algorithm 1 line 29); not needed for
+    // read-only transactions.
+    rt_.domain_.advance(s, d->ct);
+    for (auto& w : tx.write_set_) {
+      w.tentative->ct = d->ct;
+      if (rt_.recorder_.enabled()) {
+        const Version* base =
+            w.tentative->prev.load(std::memory_order_relaxed);
+        tx.rec_.writes.push_back({w.obj->oid, w.tentative->vid, base->vid});
+      }
+    }
+  }
+  d->finish_commit();
+  for (auto& w : tx.write_set_) {
+    Locator* l = w.obj->loc.load(std::memory_order_acquire);
+    if (l->writer == d) rt_.settle(*w.obj, l, s);
+  }
+  vcp_ = d->ct;  // VCp ← T.ct (line 31)
+  rt_.stats_.add(s, util::Counter::kCommits);
+  finish_attempt(true);
+}
+
+// ---------------------------------------------------------------------------
+// Tx
+// ---------------------------------------------------------------------------
+
+template <typename D>
+const runtime::Payload& RuntimeT<D>::Tx::read_object(Object& o) {
+  for (auto& w : write_set_) {
+    if (w.obj == &o) return *w.tentative->data;
+  }
+  RuntimeT& rt = ctx_.rt_;
+  const int s = ctx_.slot();
+  desc_->add_work();
+  rt.stats_.add(s, util::Counter::kReads);
+
+  Version* v = rt.resolve(o, desc_, OnCommitting::kWait, s);
+  desc_->ct.merge(v->ct);  // line 8
+  read_set_.push_back({&o, v});
+  if (rt.recorder_.enabled()) rec_.reads.push_back({o.oid, v->vid});
+  return *v->data;
+}
+
+template <typename D>
+runtime::Payload& RuntimeT<D>::Tx::write_object(Object& o) {
+  for (auto& w : write_set_) {
+    if (w.obj == &o) return *w.tentative->data;
+  }
+  RuntimeT& rt = ctx_.rt_;
+  const int s = ctx_.slot();
+
+  util::Backoff bo;
+  std::uint32_t attempt = 0;
+  for (;;) {
+    Locator* l = o.loc.load(std::memory_order_acquire);
+    if (l->writer != nullptr && l->writer != desc_) {
+      switch (l->writer->status()) {
+        case runtime::TxStatus::kCommitted:
+        case runtime::TxStatus::kAborted:
+          rt.settle(o, l, s);
+          continue;
+        case runtime::TxStatus::kCommitting:
+          bo.pause();
+          continue;
+        case runtime::TxStatus::kActive: {
+          // Lines 10-12: a single writer per object; the contention
+          // manager resolves the conflict.
+          const cm::Decision dec =
+              rt.cm_->arbitrate(*desc_, *l->writer, attempt++);
+          if (dec == cm::Decision::kAbortOther) {
+            if (l->writer->abort_by_enemy()) {
+              rt.stats_.add(s, util::Counter::kCmKills);
+              rt.settle(o, l, s);
+            }
+            continue;
+          }
+          if (dec == cm::Decision::kAbortSelf) fail(util::Counter::kAborts);
+          rt.stats_.add(s, util::Counter::kCmWaits);
+          bo.pause();
+          continue;
+        }
+      }
+      continue;
+    }
+    Version* base = l->committed;
+    desc_->ct.merge(base->ct);  // line 8 applies to writes as well
+    auto* tent = new Version(base->data->clone(), rt.domain_.zero());
+    tent->prev.store(base, std::memory_order_relaxed);
+    if (rt.recorder_.enabled()) tent->vid = rt.recorder_.new_version_id();
+    auto* nl = new Locator{desc_, tent, base};
+    Locator* expected = l;
+    if (o.loc.compare_exchange_strong(expected, nl,
+                                      std::memory_order_acq_rel)) {
+      rt.epochs_.retire(s, l);
+      write_set_.push_back({&o, tent});
+      desc_->add_work();
+      rt.stats_.add(s, util::Counter::kWrites);
+      return *tent->data;
+    }
+    delete tent;
+    delete nl;
+  }
+}
+
+using VcRuntime = RuntimeT<timebase::VcDomain>;
+using RevRuntime = RuntimeT<timebase::RevDomain>;
+
+/// CS-STM with exact vector clocks sized to the runtime's thread capacity.
+inline std::unique_ptr<VcRuntime> make_vc_runtime(Config cfg = {}) {
+  return std::make_unique<VcRuntime>(cfg, timebase::VcDomain(cfg.max_threads));
+}
+
+/// CS-STM with r-entry plausible clocks (modulo mapping). r = 1 degenerates
+/// to a scalar clock; r = max_threads to exact vector clocks.
+inline std::unique_ptr<RevRuntime> make_rev_runtime(int entries,
+                                                    Config cfg = {}) {
+  return std::make_unique<RevRuntime>(
+      cfg, timebase::RevDomain(entries, cfg.max_threads));
+}
+
+}  // namespace zstm::cs

@@ -1,0 +1,356 @@
+#include "history/checkers.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace zstm::history {
+
+namespace {
+
+/// Working view over the committed transactions of a history, with the
+/// per-object version relationships resolved.
+struct Committed {
+  std::vector<const TxRecord*> txs;           // committed only
+  std::unordered_map<std::uint64_t, int> index;  // tx_id → node
+  std::unordered_map<std::uint64_t, int> writer_of;   // version → node
+  std::unordered_map<std::uint64_t, std::uint64_t> child_of;  // version → child version
+  std::string error;  // non-empty if the history itself is malformed
+
+  explicit Committed(const History& h) {
+    for (const auto& t : h.txs) {
+      if (!t.committed) continue;
+      if (!index.emplace(t.tx_id, static_cast<int>(txs.size())).second) {
+        error = "duplicate transaction id in history";
+        return;
+      }
+      txs.push_back(&t);
+    }
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      for (const auto& w : txs[i]->writes) {
+        if (!writer_of.emplace(w.version, static_cast<int>(i)).second) {
+          error = "two committed transactions created the same version id";
+          return;
+        }
+        if (w.parent != 0) {
+          if (!child_of.emplace(w.parent, w.version).second) {
+            // Two committed writers superseded the same version: the
+            // single-writer / validation rules of every STM here forbid it.
+            error = "version superseded by two committed writers";
+            return;
+          }
+        }
+      }
+    }
+    // Initial versions (id 0 per object) may have one committed child per
+    // object; those parents are all recorded as 0 and are skipped above, so
+    // detect duplicate initial-children per object separately.
+    std::unordered_map<std::uint64_t, int> initial_child_count;
+    for (const auto* t : txs) {
+      for (const auto& w : t->writes) {
+        if (w.parent == 0 && ++initial_child_count[w.object] > 1) {
+          error = "initial version superseded by two committed writers";
+          return;
+        }
+      }
+    }
+  }
+};
+
+class Graph {
+ public:
+  explicit Graph(std::size_t tx_nodes) : n_(tx_nodes), adj_(tx_nodes) {}
+
+  int add_aux_node() {
+    adj_.emplace_back();
+    return static_cast<int>(adj_.size() - 1) - 0;
+  }
+
+  void add_edge(int from, int to) {
+    if (from == to) return;
+    adj_[static_cast<std::size_t>(from)].push_back(to);
+  }
+
+  /// Kahn's algorithm; on a cycle, reports some nodes left unprocessed.
+  CheckResult check_acyclic(const Committed& c, const char* what) const {
+    std::vector<int> indeg(adj_.size(), 0);
+    for (const auto& out : adj_) {
+      for (int v : out) ++indeg[static_cast<std::size_t>(v)];
+    }
+    std::vector<int> queue;
+    for (std::size_t i = 0; i < adj_.size(); ++i) {
+      if (indeg[i] == 0) queue.push_back(static_cast<int>(i));
+    }
+    std::size_t seen = 0;
+    while (!queue.empty()) {
+      const int u = queue.back();
+      queue.pop_back();
+      ++seen;
+      for (int v : adj_[static_cast<std::size_t>(u)]) {
+        if (--indeg[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+      }
+    }
+    if (seen == adj_.size()) return CheckResult::pass();
+
+    std::ostringstream os;
+    os << what << ": precedence cycle among committed transactions; "
+       << "transactions stuck in the cycle:";
+    int listed = 0;
+    for (std::size_t i = 0; i < adj_.size() && listed < 8; ++i) {
+      if (indeg[i] > 0 && i < n_) {
+        os << " tx" << c.txs[i]->tx_id;
+        ++listed;
+      }
+    }
+    return CheckResult::fail(os.str());
+  }
+
+  std::size_t tx_nodes() const { return n_; }
+  const std::vector<std::vector<int>>& adjacency() const { return adj_; }
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<int>> adj_;
+};
+
+/// MVSG edges: wr (writer → reader), ww (parent writer → child writer),
+/// rw (reader of v → writer of v's committed successor).
+void add_mvsg_edges(const Committed& c, Graph& g) {
+  for (std::size_t i = 0; i < c.txs.size(); ++i) {
+    const int me = static_cast<int>(i);
+    for (const auto& r : c.txs[i]->reads) {
+      if (r.version != 0) {
+        auto w = c.writer_of.find(r.version);
+        if (w != c.writer_of.end()) g.add_edge(w->second, me);  // wr
+      }
+      auto child = c.child_of.find(r.version);
+      if (child != c.child_of.end()) {
+        auto cw = c.writer_of.find(child->second);
+        if (cw != c.writer_of.end()) g.add_edge(me, cw->second);  // rw
+      }
+    }
+    for (const auto& w : c.txs[i]->writes) {
+      if (w.parent != 0) {
+        auto pw = c.writer_of.find(w.parent);
+        if (pw != c.writer_of.end()) g.add_edge(pw->second, me);  // ww
+      }
+    }
+  }
+  // rw edges where the read version is an object's initial version (id 0)
+  // and some committed transaction overwrote that initial version: reader
+  // precedes that writer.
+  std::unordered_map<std::uint64_t, int> initial_writer;  // object → node
+  for (std::size_t i = 0; i < c.txs.size(); ++i) {
+    for (const auto& w : c.txs[i]->writes) {
+      if (w.parent == 0) initial_writer[w.object] = static_cast<int>(i);
+    }
+  }
+  for (std::size_t i = 0; i < c.txs.size(); ++i) {
+    for (const auto& r : c.txs[i]->reads) {
+      if (r.version != 0) continue;
+      auto it = initial_writer.find(r.object);
+      if (it != initial_writer.end()) g.add_edge(static_cast<int>(i), it->second);
+    }
+  }
+}
+
+/// Encode "ends-before-begins ⇒ precedes" over the given subset of nodes in
+/// O(k log k) using a barrier chain: one auxiliary node per distinct end
+/// tick; each transaction feeds its barrier and hangs off the last barrier
+/// whose end tick precedes its begin tick. Transitivity through the chain
+/// covers all pairwise real-time edges.
+void add_realtime_edges(const Committed& c, const std::vector<int>& subset,
+                        Graph& g) {
+  if (subset.size() < 2) return;
+  std::vector<int> by_end(subset);
+  std::sort(by_end.begin(), by_end.end(), [&](int a, int b) {
+    return c.txs[static_cast<std::size_t>(a)]->end_seq <
+           c.txs[static_cast<std::size_t>(b)]->end_seq;
+  });
+  std::vector<std::uint64_t> end_ticks;
+  std::vector<int> barriers;
+  end_ticks.reserve(by_end.size());
+  barriers.reserve(by_end.size());
+  for (std::size_t i = 0; i < by_end.size(); ++i) {
+    const int barrier = g.add_aux_node();
+    if (!barriers.empty()) g.add_edge(barriers.back(), barrier);
+    g.add_edge(by_end[i], barrier);
+    barriers.push_back(barrier);
+    end_ticks.push_back(c.txs[static_cast<std::size_t>(by_end[i])]->end_seq);
+  }
+  for (int node : subset) {
+    const std::uint64_t begin = c.txs[static_cast<std::size_t>(node)]->begin_seq;
+    // Last end tick strictly below this begin.
+    auto it = std::lower_bound(end_ticks.begin(), end_ticks.end(), begin);
+    if (it == end_ticks.begin()) continue;
+    const std::size_t k = static_cast<std::size_t>(it - end_ticks.begin()) - 1;
+    g.add_edge(barriers[k], node);
+  }
+}
+
+void add_program_order_edges(const Committed& c, Graph& g) {
+  std::unordered_map<int, std::vector<int>> by_slot;
+  for (std::size_t i = 0; i < c.txs.size(); ++i) {
+    by_slot[c.txs[i]->thread_slot].push_back(static_cast<int>(i));
+  }
+  for (auto& [slot, nodes] : by_slot) {
+    (void)slot;
+    std::sort(nodes.begin(), nodes.end(), [&](int a, int b) {
+      return c.txs[static_cast<std::size_t>(a)]->begin_seq <
+             c.txs[static_cast<std::size_t>(b)]->begin_seq;
+    });
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      g.add_edge(nodes[i - 1], nodes[i]);
+    }
+  }
+}
+
+// Vector stamp helpers (stamps may be empty if the STM records none).
+bool stamp_leq(const std::vector<std::uint64_t>& a,
+               const std::vector<std::uint64_t>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k]) return false;
+  }
+  return true;
+}
+
+bool stamp_less(const std::vector<std::uint64_t>& a,
+                const std::vector<std::uint64_t>& b) {
+  return stamp_leq(a, b) && a != b;
+}
+
+}  // namespace
+
+CheckResult check_serializable(const History& h) {
+  Committed c(h);
+  if (!c.error.empty()) return CheckResult::fail(c.error);
+  Graph g(c.txs.size());
+  add_mvsg_edges(c, g);
+  return g.check_acyclic(c, "serializability");
+}
+
+CheckResult check_serializable_with_program_order(const History& h) {
+  Committed c(h);
+  if (!c.error.empty()) return CheckResult::fail(c.error);
+  Graph g(c.txs.size());
+  add_mvsg_edges(c, g);
+  add_program_order_edges(c, g);
+  return g.check_acyclic(c, "serializability+program-order");
+}
+
+CheckResult check_strictly_serializable(const History& h) {
+  Committed c(h);
+  if (!c.error.empty()) return CheckResult::fail(c.error);
+  Graph g(c.txs.size());
+  add_mvsg_edges(c, g);
+  std::vector<int> all(c.txs.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  add_realtime_edges(c, all, g);
+  return g.check_acyclic(c, "strict serializability");
+}
+
+CheckResult check_z_linearizable(const History& h) {
+  Committed c(h);
+  if (!c.error.empty()) return CheckResult::fail(c.error);
+  Graph g(c.txs.size());
+  add_mvsg_edges(c, g);  // clause (3): everything serializable
+
+  // Clause (1): real-time order among long transactions.
+  std::vector<int> longs;
+  for (std::size_t i = 0; i < c.txs.size(); ++i) {
+    if (c.txs[i]->tx_class == runtime::TxClass::kLong) {
+      longs.push_back(static_cast<int>(i));
+    }
+  }
+  add_realtime_edges(c, longs, g);
+
+  // Clause (2): real-time order among the short transactions of each zone.
+  std::unordered_map<std::uint64_t, std::vector<int>> zones;
+  for (std::size_t i = 0; i < c.txs.size(); ++i) {
+    if (c.txs[i]->tx_class == runtime::TxClass::kShort) {
+      zones[c.txs[i]->zone].push_back(static_cast<int>(i));
+    }
+  }
+  for (auto& [zone, members] : zones) {
+    (void)zone;
+    add_realtime_edges(c, members, g);
+  }
+
+  // Clause (4): per-thread program order.
+  add_program_order_edges(c, g);
+
+  return g.check_acyclic(c, "z-linearizability");
+}
+
+CheckResult check_causal_conditions(const History& h) {
+  Committed c(h);
+  if (!c.error.empty()) return CheckResult::fail(c.error);
+  for (std::size_t i = 0; i < c.txs.size(); ++i) {
+    const TxRecord& t = *c.txs[i];
+    if (t.stamp.empty()) {
+      return CheckResult::fail("causal check requires recorded stamps");
+    }
+    const bool read_only = t.writes.empty();
+    for (const auto& r : t.reads) {
+      if (r.version == 0) continue;
+      auto wit = c.writer_of.find(r.version);
+      if (wit == c.writer_of.end()) continue;
+      const TxRecord& w = *c.txs[static_cast<std::size_t>(wit->second)];
+      if (w.tx_id == t.tx_id) continue;
+      // (a) a transaction's timestamp dominates every version it accessed;
+      //     strictly if it incremented its own component (update tx).
+      const bool ok = read_only ? stamp_leq(w.stamp, t.stamp)
+                                : stamp_less(w.stamp, t.stamp);
+      if (!ok) {
+        std::ostringstream os;
+        os << "causality: tx" << t.tx_id << " read a version of object "
+           << r.object << " whose writer stamp does not precede its own";
+        return CheckResult::fail(os.str());
+      }
+      // (c) validation invariant: a successor committed before this reader
+      //     must not causally precede the reader. Compare against the
+      //     reader's *validation-time* stamp (pre-bump), exactly as the
+      //     live algorithm did.
+      auto child = c.child_of.find(r.version);
+      if (child != c.child_of.end()) {
+        auto cw = c.writer_of.find(child->second);
+        if (cw != c.writer_of.end()) {
+          const TxRecord& succ = *c.txs[static_cast<std::size_t>(cw->second)];
+          const auto& reader_stamp = t.vstamp.empty() ? t.stamp : t.vstamp;
+          // ≼, not ≺: equal stamps mean the reader absorbed the successor's
+          // time through another object (see cs.hpp validation comment).
+          if (succ.tx_id != t.tx_id && succ.end_seq < t.end_seq &&
+              stamp_leq(succ.stamp, reader_stamp)) {
+            std::ostringstream os;
+            os << "validation invariant: tx" << t.tx_id
+               << " committed although version of object " << r.object
+               << " it read was superseded by causally preceding tx"
+               << succ.tx_id;
+            return CheckResult::fail(os.str());
+          }
+        }
+      }
+    }
+    // (b) per-object write order agrees with timestamp order.
+    for (const auto& w : t.writes) {
+      if (w.parent == 0) continue;
+      auto pw = c.writer_of.find(w.parent);
+      if (pw == c.writer_of.end()) continue;
+      const TxRecord& parent = *c.txs[static_cast<std::size_t>(pw->second)];
+      if (parent.tx_id == t.tx_id) continue;
+      if (!stamp_less(parent.stamp, t.stamp)) {
+        std::ostringstream os;
+        os << "write order: object " << w.object << " versions by tx"
+           << parent.tx_id << " and tx" << t.tx_id
+           << " are not timestamp-ordered";
+        return CheckResult::fail(os.str());
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace zstm::history

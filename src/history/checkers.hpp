@@ -1,0 +1,59 @@
+// Offline consistency checkers.
+//
+// Given a recorded History, these verify the criterion each STM promises:
+//
+//  * check_serializable          — multiversion serialization graph (MVSG)
+//    acyclicity over committed transactions: wr (reads-from), ww (version
+//    order) and rw (anti-dependency) edges. Acyclicity is a sufficient
+//    condition for serializability, so a passing verdict is sound; the
+//    check is conservative in the other direction, which is what a test
+//    suite wants.
+//  * check_strictly_serializable — MVSG plus real-time precedence edges
+//    between all committed transactions; this is linearizability at
+//    transaction granularity, the guarantee of classic TBTMs (§1/§2).
+//  * check_z_linearizable        — the four clauses of §5: (1) long
+//    transactions linearizable, (2) short transactions of each zone
+//    linearizable, (3) everything serializable, (4) the serialization
+//    respects each thread's program order. Verified as acyclicity of the
+//    MVSG augmented with long-set real-time edges, per-zone real-time
+//    edges, and per-thread program-order edges — i.e. one serialization
+//    witnesses all four clauses simultaneously.
+//  * check_causal_conditions     — the §4.1 proof obligations for CS-STM
+//    histories with recorded vector timestamps: (a) committed timestamps
+//    dominate every version accessed, (b) per-object write order agrees
+//    with timestamp order, (c) no committed transaction both causally
+//    precedes and follows another (the validation invariant: no read
+//    version has a previously-committed successor with stamp ≺ the
+//    reader's stamp).
+#pragma once
+
+#include <string>
+
+#include "history/event.hpp"
+
+namespace zstm::history {
+
+struct CheckResult {
+  bool ok = true;
+  std::string reason;
+
+  static CheckResult pass() { return CheckResult{}; }
+  static CheckResult fail(std::string why) { return CheckResult{false, std::move(why)}; }
+
+  explicit operator bool() const { return ok; }
+};
+
+CheckResult check_serializable(const History& h);
+CheckResult check_strictly_serializable(const History& h);
+CheckResult check_z_linearizable(const History& h);
+CheckResult check_causal_conditions(const History& h);
+
+/// MVSG plus per-thread program-order edges, without cross-thread real-time
+/// edges: the guarantee of LSA on *synchronized real-time clocks* with a
+/// non-zero deviation bound. Such a time base is not linearizable (§2: LSA
+/// "ensures linearizability if the time base is linearizable"), so
+/// snapshots may anchor up to the deviation in the past of other threads'
+/// commits; within a thread, order is still exact.
+CheckResult check_serializable_with_program_order(const History& h);
+
+}  // namespace zstm::history

@@ -1,0 +1,58 @@
+// Transaction history records.
+//
+// Each STM can record, per transaction attempt: which object versions were
+// read, which versions were created (and which version they superseded),
+// the real-time interval, the zone (Z-STM), and the commit stamp (vector
+// clock STMs). Offline checkers then verify the consistency criterion each
+// algorithm promises. Version ids are globally unique and each write names
+// its parent, so the per-object version order is recoverable for any STM
+// regardless of its time base.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/txdesc.hpp"
+
+namespace zstm::history {
+
+struct ReadAccess {
+  std::uint64_t object;
+  std::uint64_t version;  // 0 = the object's initial version
+};
+
+struct WriteAccess {
+  std::uint64_t object;
+  std::uint64_t version;  // id of the version this transaction created
+  std::uint64_t parent;   // id of the version it superseded (0 = initial)
+};
+
+struct TxRecord {
+  std::uint64_t tx_id = 0;
+  int thread_slot = -1;
+  runtime::TxClass tx_class = runtime::TxClass::kShort;
+  bool committed = false;
+  std::uint64_t begin_seq = 0;  // recorder tick taken at transaction begin
+  std::uint64_t end_seq = 0;    // recorder tick taken after the commit point
+  std::uint64_t zone = 0;       // Z-STM: T.zc at commit (0 = not zoned)
+  std::vector<std::uint64_t> stamp;  // vector/plausible commit timestamp
+  /// Timestamp at validation time (before the own-component bump of
+  /// Algorithm 1 line 29). With exact vector clocks this is redundant, but
+  /// with shared REV entries the bump can spuriously dominate a concurrent
+  /// commit's stamp, so validation-order checks must use this one.
+  std::vector<std::uint64_t> vstamp;
+  std::vector<ReadAccess> reads;
+  std::vector<WriteAccess> writes;
+};
+
+struct History {
+  std::vector<TxRecord> txs;
+
+  std::size_t committed_count() const {
+    std::size_t n = 0;
+    for (const auto& t : txs) n += t.committed ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace zstm::history

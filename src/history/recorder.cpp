@@ -1,0 +1,27 @@
+#include "history/recorder.hpp"
+
+namespace zstm::history {
+
+Recorder::Recorder(bool enabled, int slots)
+    : enabled_(enabled), buffers_(static_cast<std::size_t>(slots)) {}
+
+void Recorder::record(int slot, TxRecord&& rec) {
+  buffers_[static_cast<std::size_t>(slot)].value.push_back(std::move(rec));
+}
+
+History Recorder::collect() const {
+  History h;
+  std::size_t total = 0;
+  for (const auto& b : buffers_) total += b.value.size();
+  h.txs.reserve(total);
+  for (const auto& b : buffers_) {
+    h.txs.insert(h.txs.end(), b.value.begin(), b.value.end());
+  }
+  return h;
+}
+
+void Recorder::clear() {
+  for (auto& b : buffers_) b.value.clear();
+}
+
+}  // namespace zstm::history

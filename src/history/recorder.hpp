@@ -1,0 +1,47 @@
+// Low-overhead history recorder.
+//
+// Disabled by default (a single branch per event); when enabled, records go
+// to per-thread-slot buffers (no cross-thread synchronization on the hot
+// path) and are merged by collect() after workers quiesce.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "history/event.hpp"
+#include "util/align.hpp"
+
+namespace zstm::history {
+
+class Recorder {
+ public:
+  Recorder(bool enabled, int slots);
+
+  bool enabled() const { return enabled_; }
+
+  /// Global sequence point. Two calls t1 < t2 imply the first call's
+  /// linearization preceded the second's — used to derive real-time order
+  /// between transactions (end tick < begin tick ⇒ precedes in real time).
+  std::uint64_t tick() { return seq_.value.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Globally unique id for a freshly created version.
+  std::uint64_t new_version_id() {
+    return version_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  void record(int slot, TxRecord&& rec);
+
+  /// Merge all per-slot buffers. Callers must have quiesced the workers.
+  History collect() const;
+
+  void clear();
+
+ private:
+  bool enabled_;
+  util::PaddedCounter seq_;
+  util::PaddedCounter version_ids_;
+  std::vector<util::Padded<std::vector<TxRecord>>> buffers_;
+};
+
+}  // namespace zstm::history

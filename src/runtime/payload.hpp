@@ -1,0 +1,53 @@
+// Type-erased, immutable-after-publication object payloads.
+//
+// The STMs manage versions generically; user data enters through
+// TypedPayload<T>. A committed version's payload is never mutated again
+// (readers share it without synchronization); writers always clone
+// ("Duplicate" in the paper's pseudo-code) and mutate the private copy.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace zstm::runtime {
+
+class Payload {
+ public:
+  virtual ~Payload() = default;
+  /// Deep copy — the paper's Duplicate(v). Returns an owning raw pointer;
+  /// lifetime is managed by the enclosing Version via EBR.
+  virtual Payload* clone() const = 0;
+
+ protected:
+  Payload() = default;
+  Payload(const Payload&) = default;
+  Payload& operator=(const Payload&) = default;
+};
+
+template <typename T>
+class TypedPayload final : public Payload {
+ public:
+  explicit TypedPayload(T value) : value_(std::move(value)) {}
+
+  Payload* clone() const override { return new TypedPayload<T>(value_); }
+
+  const T& value() const { return value_; }
+  T& value() { return value_; }
+
+ private:
+  T value_;
+};
+
+/// Downcasts are safe by construction: a Var<T> only ever stores
+/// TypedPayload<T>. static_cast avoids RTTI on the read hot path.
+template <typename T>
+const T& payload_as(const Payload& p) {
+  return static_cast<const TypedPayload<T>&>(p).value();
+}
+
+template <typename T>
+T& payload_as(Payload& p) {
+  return static_cast<TypedPayload<T>&>(p).value();
+}
+
+}  // namespace zstm::runtime

@@ -1,0 +1,521 @@
+#include "sstm/sstm.hpp"
+
+#include <algorithm>
+
+namespace zstm::sstm {
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(Config cfg)
+    : cfg_(cfg),
+      domain_(cfg.max_threads),
+      registry_(cfg.max_threads),
+      epochs_(registry_),
+      stats_(registry_),
+      recorder_(cfg.record_history, cfg.max_threads),
+      cm_(cm::make_manager(cfg.cm_policy)) {}
+
+Runtime::~Runtime() {
+  for (auto& obj : objects_) {
+    Locator* l = obj->loc.load(std::memory_order_relaxed);
+    if (l == nullptr) continue;
+    if (l->writer != nullptr && l->tentative != nullptr) {
+      if (l->writer->status(std::memory_order_relaxed) ==
+          runtime::TxStatus::kCommitted) {
+        destroy_chain(l->tentative);
+      } else {
+        delete l->tentative;
+        destroy_chain(l->committed);
+      }
+    } else {
+      destroy_chain(l->committed);
+    }
+    delete l;
+  }
+}
+
+void Runtime::destroy_chain(Version* v) {
+  while (v != nullptr) {
+    Version* p = v->prev.load(std::memory_order_relaxed);
+    delete v;
+    v = p;
+  }
+}
+
+TxDesc* Runtime::allocate_desc(int slot) {
+  const std::uint64_t id =
+      tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto desc = std::make_unique<TxDesc>(id, slot, domain_.zero());
+  TxDesc* raw = desc.get();
+  {
+    std::lock_guard<std::mutex> lk(descs_mutex_);
+    descs_.push_back(std::move(desc));
+  }
+  return raw;
+}
+
+std::unique_ptr<ThreadCtx> Runtime::attach() {
+  return std::unique_ptr<ThreadCtx>(new ThreadCtx(*this, registry_.attach()));
+}
+
+void Runtime::settle(Object& o, Locator* seen, int slot) {
+  if (seen->writer == nullptr) return;
+  const runtime::TxStatus st = seen->writer->status();
+  if (st != runtime::TxStatus::kCommitted && st != runtime::TxStatus::kAborted) {
+    return;
+  }
+  Version* current =
+      (st == runtime::TxStatus::kCommitted) ? seen->tentative : seen->committed;
+  auto* settled = new Locator{nullptr, nullptr, current};
+  Locator* expected = seen;
+  if (o.loc.compare_exchange_strong(expected, settled,
+                                    std::memory_order_acq_rel)) {
+    if (st == runtime::TxStatus::kAborted) epochs_.retire(slot, seen->tentative);
+    epochs_.retire(slot, seen);
+    prune(o, slot);
+  } else {
+    delete settled;
+  }
+}
+
+Version* Runtime::resolve(Object& o, const TxDesc* self, OnCommitting mode,
+                          int slot) {
+  util::Backoff bo;
+  for (;;) {
+    Locator* l = o.loc.load(std::memory_order_acquire);
+    if (l->writer == nullptr || l->writer == self) return l->committed;
+    switch (l->writer->status()) {
+      case runtime::TxStatus::kActive:
+        return l->committed;
+      case runtime::TxStatus::kCommitting:
+        // "A transaction that cannot progress because it waits for the
+        // outcome of a committing transaction helps that transaction
+        // commit" — our commits are a single CAS, so the only help
+        // possible is waiting out the short window.
+        if (mode == OnCommitting::kFail) return nullptr;
+        bo.pause();
+        continue;
+      case runtime::TxStatus::kCommitted:
+      case runtime::TxStatus::kAborted:
+        settle(o, l, slot);
+        continue;
+    }
+  }
+}
+
+void Runtime::prune(Object& o, int slot) {
+  Locator* l = o.loc.load(std::memory_order_acquire);
+  Version* v = l->committed;
+  if (v == nullptr) return;
+  for (int depth = 1; depth < cfg_.versions_kept && v != nullptr; ++depth) {
+    v = v->prev.load(std::memory_order_acquire);
+  }
+  if (v == nullptr) return;
+  Version* suffix = v->prev.exchange(nullptr, std::memory_order_acq_rel);
+  if (suffix == nullptr) return;
+  epochs_.retire_raw(slot, suffix,
+                     [](void* p) { destroy_chain(static_cast<Version*>(p)); });
+}
+
+bool Runtime::reaches(TxDesc* from, const TxDesc* target, int max_nodes) {
+  // Iterative search with an explicit visited set: predecessor graphs can
+  // contain cycles (that is exactly what this function detects), and a
+  // depth-bounded DFS without memoization goes exponential on them — while
+  // holding the commit mutex. Linear-scan membership is fine: the live
+  // transaction population is bounded by the thread count.
+  std::vector<TxDesc*> work{from};
+  std::vector<const TxDesc*> visited;
+  while (!work.empty()) {
+    TxDesc* cur = work.back();
+    work.pop_back();
+    if (cur == target) return true;
+    bool seen = false;
+    for (const TxDesc* q : visited) seen |= (q == cur);
+    if (seen) continue;
+    visited.push_back(cur);
+    if (static_cast<int>(visited.size()) > max_nodes) return false;
+    // Only live transactions are expanded: a committed predecessor's
+    // ordering constraints were folded into timestamps by the merge rules.
+    const runtime::TxStatus st = cur->status();
+    if (st != runtime::TxStatus::kActive &&
+        st != runtime::TxStatus::kCommitting) {
+      continue;
+    }
+    for (TxDesc* p : cur->preds_snapshot()) work.push_back(p);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadCtx
+// ---------------------------------------------------------------------------
+
+ThreadCtx::ThreadCtx(Runtime& rt, util::ThreadRegistry::Registration reg)
+    : rt_(rt), reg_(std::move(reg)), tx_(*this), vcp_(rt.domain_.zero()) {}
+
+ThreadCtx::~ThreadCtx() {
+  if (in_transaction()) abort_attempt();
+}
+
+Tx& ThreadCtx::begin() {
+  if (in_transaction()) abort_attempt();
+  tx_.desc_ = rt_.allocate_desc(slot());
+  tx_.desc_->ct = vcp_;  // T.ct starts from the thread's last committed stamp
+  tx_.desc_->set_start_ticks(
+      rt_.ticks_.value.fetch_add(1, std::memory_order_relaxed));
+  epoch_guard_ = rt_.epochs_.pin_guard(slot());
+  tx_.read_set_.clear();
+  tx_.write_set_.clear();
+  if (rt_.recorder_.enabled()) {
+    tx_.rec_ = history::TxRecord{};
+    tx_.rec_.tx_id = tx_.desc_->id();
+    tx_.rec_.thread_slot = slot();
+    tx_.rec_.begin_seq = rt_.recorder_.tick();
+  }
+  return tx_;
+}
+
+void ThreadCtx::release_ownerships() {
+  for (auto& w : tx_.write_set_) {
+    Locator* l = w.obj->loc.load(std::memory_order_acquire);
+    if (l->writer == tx_.desc_) rt_.settle(*w.obj, l, slot());
+  }
+}
+
+void ThreadCtx::finish_attempt(bool committed) {
+  if (rt_.recorder_.enabled()) {
+    tx_.rec_.committed = committed;
+    tx_.rec_.end_seq = rt_.recorder_.tick();
+    if (committed) {
+      tx_.rec_.stamp.clear();
+      for (int k = 0; k < tx_.desc_->ct.dimension(); ++k) {
+        tx_.rec_.stamp.push_back(tx_.desc_->ct[k]);
+      }
+    }
+    rt_.recorder_.record(slot(), std::move(tx_.rec_));
+  }
+  tx_.desc_ = nullptr;  // descriptor is runtime-retained, not freed
+  epoch_guard_ = util::EpochManager::Guard();
+}
+
+void ThreadCtx::abort_attempt() {
+  tx_.desc_->finish_abort();
+  release_ownerships();
+  rt_.stats_.add(slot(), util::Counter::kAborts);
+  finish_attempt(false);
+}
+
+void ThreadCtx::commit() {
+  Tx& tx = tx_;
+  TxDesc* d = tx.desc_;
+  const int s = slot();
+
+  if (!d->begin_commit()) {
+    abort_attempt();
+    throw TxAborted{};
+  }
+
+  {
+    std::lock_guard<std::mutex> commit_lock(rt_.commit_mutex_);
+
+    // Anti-dependencies: scan the visible readers of every version we are
+    // superseding. Committed readers order themselves before us via
+    // timestamp merge; live readers become predecessor edges and are
+    // carried on the new version as its past readers.
+    for (auto& w : tx.write_set_) {
+      Version* base = w.tentative->prev.load(std::memory_order_relaxed);
+      std::vector<TxDesc*> snapshot;
+      {
+        std::lock_guard<util::SpinLock> lk(base->readers_lock);
+        auto& rs = base->readers;
+        snapshot.assign(rs.begin(), rs.end());
+        // Drop only *aborted* readers here. Committed readers must stay on
+        // the list until a successor commit actually captures their stamp:
+        // if we compacted them now and then failed validation, the next
+        // writer of this version would never merge their timestamps and
+        // could commit a non-serializable anti-dependency cycle.
+        rs.erase(std::remove_if(rs.begin(), rs.end(),
+                                [](TxDesc* r) {
+                                  return r->status() ==
+                                         runtime::TxStatus::kAborted;
+                                }),
+                 rs.end());
+      }
+      // Readers of the superseded version must precede us; the version's
+      // carried past readers too (§4.2: "information about past readers is
+      // carried along causal chains"). note_predecessor folds committed
+      // ones (and their pending constraints, transitively) into our stamp
+      // and records live ones as predecessor edges.
+      for (TxDesc* r : snapshot) tx.note_predecessor(r);
+      for (TxDesc* pr : base->past_readers) tx.note_predecessor(pr);
+    }
+
+    // Re-process predecessors recorded earlier (at open time): any that
+    // committed meanwhile fold into the timestamp now.
+    for (TxDesc* p : d->preds_snapshot()) tx.note_predecessor(p);
+
+    // CS-STM validation (Algorithm 1, lines 20-26) on the merged stamp.
+    bool valid = true;
+    for (const auto& r : tx.read_set_) {
+      Version* cur = rt_.resolve(*r.obj, d, Runtime::OnCommitting::kFail, s);
+      if (cur == nullptr) {
+        valid = false;
+        break;
+      }
+      if (cur == r.version) continue;
+      Version* succ = cur;
+      Version* below = succ->prev.load(std::memory_order_acquire);
+      while (below != nullptr && below != r.version) {
+        succ = below;
+        below = succ->prev.load(std::memory_order_acquire);
+      }
+      if (below == nullptr) {
+        valid = false;
+        break;
+      }
+      // ≼, not ≺: see the matching comment in cs.hpp — equality means we
+      // observed the successor's effects through another object.
+      const timebase::Order ord = succ->ct.compare(d->ct);
+      if (ord == timebase::Order::kBefore || ord == timebase::Order::kEqual) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) {
+      rt_.stats_.add(s, util::Counter::kValidationFails);
+      abort_attempt();
+      throw TxAborted{};
+    }
+
+    // Precedence-cycle check among live transactions: if any live
+    // predecessor transitively requires *us* before *it*, the two orders
+    // are contradictory — "a conflict occurs if we detect a cycle". The
+    // first committer wins: kill the still-active cycle partner, falling
+    // back to self-abort if it is already mid-commit.
+    for (TxDesc* p : d->preds_snapshot()) {
+      const auto st = p->status();
+      if (st != runtime::TxStatus::kActive &&
+          st != runtime::TxStatus::kCommitting) {
+        continue;
+      }
+      if (p != d && Runtime::reaches(p, d, 4096)) {
+        if (p->abort_by_enemy()) {
+          rt_.stats_.add(s, util::Counter::kCmKills);
+          continue;  // the edge through p is now dead
+        }
+        rt_.stats_.add(s, util::Counter::kValidationFails);
+        abort_attempt();
+        throw TxAborted{};
+      }
+    }
+
+    if (rt_.recorder_.enabled()) {
+      tx.rec_.vstamp.clear();
+      for (int k = 0; k < d->ct.dimension(); ++k) {
+        tx.rec_.vstamp.push_back(d->ct[k]);  // pre-bump stamp
+      }
+    }
+    if (!tx.write_set_.empty()) {
+      rt_.domain_.advance(s, d->ct);
+      // Every ordering obligation we still carry against live transactions
+      // travels on the published versions as their past-readers list, so
+      // later accessors inherit it (whether those transactions end up
+      // committing before or after us).
+      std::vector<TxDesc*> live_preds;
+      for (TxDesc* p : d->preds_snapshot()) {
+        const auto st = p->status();
+        if (st == runtime::TxStatus::kActive ||
+            st == runtime::TxStatus::kCommitting) {
+          live_preds.push_back(p);
+        }
+      }
+      for (auto& w : tx.write_set_) {
+        w.tentative->ct = d->ct;
+        w.tentative->past_readers = live_preds;
+        if (rt_.recorder_.enabled()) {
+          const Version* base = w.tentative->prev.load(std::memory_order_relaxed);
+          tx.rec_.writes.push_back({w.obj->oid, w.tentative->vid, base->vid});
+        }
+      }
+      // The commit is now certain: every committed reader of the versions
+      // we supersede has been folded into our stamp, so their list entries
+      // are no longer needed (their constraint travels with the new
+      // version's timestamp from here on).
+      for (auto& w : tx.write_set_) {
+        Version* base = w.tentative->prev.load(std::memory_order_relaxed);
+        std::lock_guard<util::SpinLock> lk(base->readers_lock);
+        auto& rs = base->readers;
+        rs.erase(std::remove_if(rs.begin(), rs.end(),
+                                [](TxDesc* r) {
+                                  const auto st = r->status();
+                                  return st == runtime::TxStatus::kCommitted ||
+                                         st == runtime::TxStatus::kAborted;
+                                }),
+                 rs.end());
+      }
+    }
+    d->finish_commit();
+    for (auto& w : tx.write_set_) {
+      Locator* l = w.obj->loc.load(std::memory_order_acquire);
+      if (l->writer == d) rt_.settle(*w.obj, l, s);
+    }
+  }
+
+  vcp_ = d->ct;
+  rt_.stats_.add(s, util::Counter::kCommits);
+  finish_attempt(true);
+}
+
+// ---------------------------------------------------------------------------
+// Tx
+// ---------------------------------------------------------------------------
+
+void Tx::abort() {
+  ctx_.abort_attempt();
+  throw TxAborted{};
+}
+
+void Tx::fail(util::Counter reason) {
+  ctx_.rt_.stats_.add(ctx_.slot(), reason);
+  ctx_.abort_attempt();
+  throw TxAborted{};
+}
+
+void Tx::note_predecessor(TxDesc* p) {
+  if (p == desc_) return;
+  // Worklist over committed transactions: absorbing a committed
+  // predecessor means taking its stamp AND inheriting every ordering
+  // constraint it was still carrying (predecessors that were live when it
+  // committed). Without the transitive part, a chain
+  //   R (live) ≺ W1 (committed) ≺ W2 (committed) ≺ us
+  // would lose the "R before us" obligation and admit a cycle once R
+  // commits.
+  std::vector<TxDesc*> work;
+  std::vector<TxDesc*> visited;
+  work.push_back(p);
+  while (!work.empty()) {
+    TxDesc* cur = work.back();
+    work.pop_back();
+    if (cur == desc_) continue;
+    bool seen = false;
+    for (TxDesc* q : visited) seen |= (q == cur);
+    if (seen) continue;
+    visited.push_back(cur);
+    switch (cur->status()) {
+      case runtime::TxStatus::kAborted:
+        break;
+      case runtime::TxStatus::kCommitted:
+        // "Make sure that the new version ... has a timestamp strictly
+        // greater than that of the committed reading transaction."
+        desc_->ct.merge(cur->ct);
+        for (TxDesc* q : cur->preds_snapshot()) work.push_back(q);
+        break;
+      default:
+        desc_->add_pred(cur);
+        break;
+    }
+  }
+}
+
+void Tx::absorb_past_readers(Version* v) {
+  for (TxDesc* pr : v->past_readers) note_predecessor(pr);
+}
+
+const runtime::Payload& Tx::read_object(Object& o) {
+  for (auto& w : write_set_) {
+    if (w.obj == &o) return *w.tentative->data;
+  }
+  for (auto& r : read_set_) {
+    if (r.obj == &o) return *r.version->data;  // repeat read: same version
+  }
+  Runtime& rt = ctx_.rt_;
+  const int s = ctx_.slot();
+  desc_->add_work();
+  rt.stats_.add(s, util::Counter::kReads);
+
+  for (;;) {
+    Version* v = rt.resolve(o, desc_, Runtime::OnCommitting::kWait, s);
+    desc_->ct.merge(v->ct);
+    absorb_past_readers(v);
+    {
+      std::lock_guard<util::SpinLock> lk(v->readers_lock);
+      v->readers.push_back(desc_);
+    }
+    // Visibility handshake: a writer that scanned v's readers before our
+    // insertion must have published a successor by now; re-checking the
+    // current version guarantees either the writer saw us or we see its
+    // version and retry.
+    Version* recheck = rt.resolve(o, desc_, Runtime::OnCommitting::kWait, s);
+    if (recheck == v) {
+      read_set_.push_back({&o, v});
+      if (rt.recorder_.enabled()) rec_.reads.push_back({o.oid, v->vid});
+      return *v->data;
+    }
+    std::lock_guard<util::SpinLock> lk(v->readers_lock);
+    auto& rs = v->readers;
+    rs.erase(std::remove(rs.begin(), rs.end(), desc_), rs.end());
+  }
+}
+
+runtime::Payload& Tx::write_object(Object& o) {
+  for (auto& w : write_set_) {
+    if (w.obj == &o) return *w.tentative->data;
+  }
+  Runtime& rt = ctx_.rt_;
+  const int s = ctx_.slot();
+
+  util::Backoff bo;
+  std::uint32_t attempt = 0;
+  for (;;) {
+    Locator* l = o.loc.load(std::memory_order_acquire);
+    if (l->writer != nullptr && l->writer != desc_) {
+      switch (l->writer->status()) {
+        case runtime::TxStatus::kCommitted:
+        case runtime::TxStatus::kAborted:
+          rt.settle(o, l, s);
+          continue;
+        case runtime::TxStatus::kCommitting:
+          bo.pause();
+          continue;
+        case runtime::TxStatus::kActive: {
+          const cm::Decision dec =
+              rt.cm_->arbitrate(*desc_, *l->writer, attempt++);
+          if (dec == cm::Decision::kAbortOther) {
+            if (l->writer->abort_by_enemy()) {
+              rt.stats_.add(s, util::Counter::kCmKills);
+              rt.settle(o, l, s);
+            }
+            continue;
+          }
+          if (dec == cm::Decision::kAbortSelf) fail(util::Counter::kAborts);
+          rt.stats_.add(s, util::Counter::kCmWaits);
+          bo.pause();
+          continue;
+        }
+      }
+      continue;
+    }
+    Version* base = l->committed;
+    desc_->ct.merge(base->ct);
+    absorb_past_readers(base);
+    auto* tent = new Version(base->data->clone(), rt.domain_.zero());
+    tent->prev.store(base, std::memory_order_relaxed);
+    if (rt.recorder_.enabled()) tent->vid = rt.recorder_.new_version_id();
+    auto* nl = new Locator{desc_, tent, base};
+    Locator* expected = l;
+    if (o.loc.compare_exchange_strong(expected, nl,
+                                      std::memory_order_acq_rel)) {
+      rt.epochs_.retire(s, l);
+      write_set_.push_back({&o, tent});
+      desc_->add_work();
+      rt.stats_.add(s, util::Counter::kWrites);
+      return *tent->data;
+    }
+    delete tent;
+    delete nl;
+  }
+}
+
+}  // namespace zstm::sstm

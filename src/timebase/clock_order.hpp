@@ -1,0 +1,29 @@
+// Partial-order verdicts for (vector / plausible) timestamps.
+//
+// Matches the comparison rules of §4 of the paper:
+//   (1) ti = tj  ⇔ ∀k ti[k] = tj[k]
+//   (2) ti ≼ tj  ⇔ ∀k ti[k] ≤ tj[k]
+//   (3) ti ≺ tj  ⇔ ti ≼ tj ∧ ti ≠ tj
+// and events: ei → ej ⇔ ti ≺ tj; ei ∥ ej ⇔ ti ⊀ tj ∧ tj ⊀ ti.
+#pragma once
+
+namespace zstm::timebase {
+
+enum class Order {
+  kEqual,       // ti = tj
+  kBefore,      // ti ≺ tj
+  kAfter,       // tj ≺ ti
+  kConcurrent,  // ti ∥ tj
+};
+
+inline const char* to_string(Order o) {
+  switch (o) {
+    case Order::kEqual: return "=";
+    case Order::kBefore: return "<";
+    case Order::kAfter: return ">";
+    case Order::kConcurrent: return "||";
+  }
+  return "?";
+}
+
+}  // namespace zstm::timebase

@@ -1,0 +1,47 @@
+#include "timebase/sync_clock.hpp"
+
+namespace zstm::timebase {
+
+SyncRealTimeClock::SyncRealTimeClock(int slots,
+                                     std::chrono::nanoseconds max_deviation,
+                                     std::uint64_t seed)
+    : max_deviation_(max_deviation),
+      offsets_(static_cast<std::size_t>(slots), 0),
+      last_issued_(static_cast<std::size_t>(slots)),
+      origin_(std::chrono::steady_clock::now()) {
+  util::Xorshift rng(seed);
+  const std::int64_t dev = max_deviation.count();
+  for (auto& off : offsets_) {
+    if (dev > 0) {
+      // Uniform in [-dev, +dev]: a fixed skew per simulated hardware clock.
+      off = static_cast<std::int64_t>(rng.next_below(
+                static_cast<std::uint64_t>(2 * dev + 1))) -
+            dev;
+    }
+  }
+}
+
+std::uint64_t SyncRealTimeClock::now(int slot) const {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - origin_)
+                           .count();
+  std::int64_t t = elapsed + offsets_[static_cast<std::size_t>(slot)];
+  if (t < 0) t = 0;
+  // Shift leaves room for the slot id in the low bits, keeping stamps from
+  // different slots distinct even at identical nanosecond readings.
+  return (static_cast<std::uint64_t>(t) << kSlotBits) |
+         static_cast<std::uint64_t>(slot);
+}
+
+std::uint64_t SyncRealTimeClock::acquire_commit_stamp(int slot,
+                                                      std::uint64_t floor) {
+  auto& last = last_issued_[static_cast<std::size_t>(slot)].value;
+  std::uint64_t stamp = now(slot);
+  const std::uint64_t prev = last.load(std::memory_order_relaxed);
+  if (stamp <= prev) stamp = prev + 1;
+  if (stamp <= floor) stamp = floor + 1;
+  last.store(stamp, std::memory_order_relaxed);
+  return stamp;
+}
+
+}  // namespace zstm::timebase

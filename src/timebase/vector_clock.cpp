@@ -1,0 +1,41 @@
+#include "timebase/vector_clock.hpp"
+
+#include <sstream>
+
+namespace zstm::timebase {
+
+void VcStamp::merge(const VcStamp& other) {
+  // Dimensions are fixed per domain; enforce in debug builds only since this
+  // is a transaction hot path.
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    if (other.components_[k] > components_[k]) {
+      components_[k] = other.components_[k];
+    }
+  }
+}
+
+Order VcStamp::compare(const VcStamp& other) const {
+  bool le = true;  // this ≼ other
+  bool ge = true;  // other ≼ this
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    if (components_[k] > other.components_[k]) le = false;
+    if (components_[k] < other.components_[k]) ge = false;
+  }
+  if (le && ge) return Order::kEqual;
+  if (le) return Order::kBefore;
+  if (ge) return Order::kAfter;
+  return Order::kConcurrent;
+}
+
+std::string VcStamp::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    if (k > 0) os << ",";
+    os << components_[k];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace zstm::timebase

@@ -1,0 +1,77 @@
+// Vector clocks (Fidge [3] / Mattern [6]) as an STM time base, per §4.
+//
+// A VcStamp is a value-type vector timestamp with one component per thread
+// slot. A VcDomain fixes the dimension for a runtime. Each thread owns its
+// component; perceived time is merged (element-wise max) whenever a
+// transaction accesses a shared object version, exactly as in Algorithm 1
+// line 8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "timebase/clock_order.hpp"
+
+namespace zstm::timebase {
+
+class VcStamp {
+ public:
+  VcStamp() = default;
+  explicit VcStamp(int dimension)
+      : components_(static_cast<std::size_t>(dimension), 0) {}
+
+  int dimension() const { return static_cast<int>(components_.size()); }
+
+  std::uint64_t operator[](int i) const {
+    return components_[static_cast<std::size_t>(i)];
+  }
+  std::uint64_t& operator[](int i) {
+    return components_[static_cast<std::size_t>(i)];
+  }
+
+  /// Element-wise maximum (the ⊔ of Algorithm 1, line 8: "dmax").
+  void merge(const VcStamp& other);
+
+  /// Increment this thread's own component (Algorithm 1, line 29).
+  void bump(int slot) { ++components_[static_cast<std::size_t>(slot)]; }
+
+  Order compare(const VcStamp& other) const;
+
+  bool strictly_precedes(const VcStamp& other) const {
+    return compare(other) == Order::kBefore;
+  }
+  bool concurrent_with(const VcStamp& other) const {
+    return compare(other) == Order::kConcurrent;
+  }
+  bool operator==(const VcStamp& other) const {
+    return components_ == other.components_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> components_;
+};
+
+/// Per-runtime shared configuration for plain vector clocks. Vector clocks
+/// need no shared mutable state — that is precisely their selling point in
+/// §4 ("do not suffer from contention on the time base") — so the domain
+/// only records the dimension.
+class VcDomain {
+ public:
+  explicit VcDomain(int dimension) : dimension_(dimension) {}
+
+  int dimension() const { return dimension_; }
+
+  VcStamp zero() const { return VcStamp(dimension_); }
+
+  /// Advance thread `slot`'s logical time within `stamp` (commit step).
+  /// Purely thread-local for true vector clocks.
+  void advance(int slot, VcStamp& stamp) const { stamp.bump(slot); }
+
+ private:
+  int dimension_;
+};
+
+}  // namespace zstm::timebase

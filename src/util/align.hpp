@@ -1,0 +1,31 @@
+// Cache-line alignment helpers.
+//
+// Hot shared atomics (time-base counters, per-slot epochs, statistics) are
+// padded to a cache line so that logically independent words do not contend
+// through false sharing. 64 bytes is correct for every x86-64 and most ARM
+// parts; std::hardware_destructive_interference_size is avoided because GCC
+// warns that its value is ABI-fragile across translation units.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace zstm::util {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A value of type T alone on its own cache line.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(T v) : value(std::move(v)) {}
+};
+
+/// An atomic counter alone on its own cache line.
+struct alignas(kCacheLine) PaddedCounter {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace zstm::util

@@ -1,0 +1,52 @@
+// Bounded exponential backoff for retry loops and "Polite" contention
+// management. Spins with pause hints first, then yields, so that on
+// oversubscribed machines (threads > cores, as in the paper's 32-thread runs
+// on 8 cores) waiting transactions release the CPU instead of starving the
+// transaction they are waiting for.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace zstm::util {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // Fallback: a compiler barrier keeps the loop from being optimized into a
+  // pure busy-load of the same cache line.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t min_spins = 4, std::uint32_t max_spins = 1024)
+      : limit_(min_spins), max_(max_spins) {}
+
+  /// One backoff episode; doubles the next episode up to the cap.
+  void pause() {
+    if (limit_ >= max_) {
+      // Past the spin budget: assume the other party needs our core.
+      std::this_thread::yield();
+      return;
+    }
+    for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    limit_ *= 2;
+  }
+
+  void reset() { limit_ = 4; }
+
+  std::uint32_t current_limit() const { return limit_; }
+
+ private:
+  std::uint32_t limit_;
+  std::uint32_t max_;
+};
+
+}  // namespace zstm::util

@@ -1,0 +1,88 @@
+#include "util/ebr.hpp"
+
+namespace zstm::util {
+
+EpochManager::EpochManager(ThreadRegistry& registry)
+    : registry_(registry),
+      slots_(static_cast<std::size_t>(registry.capacity())),
+      garbage_(static_cast<std::size_t>(registry.capacity())) {}
+
+EpochManager::~EpochManager() { drain_all(); }
+
+void EpochManager::pin(int slot) {
+  auto& st = slots_[static_cast<std::size_t>(slot)];
+  if (st.nesting++ > 0) return;  // already pinned by an outer guard
+  // seq_cst: the announcement must be globally visible before this thread
+  // dereferences any shared version pointer, otherwise a concurrent
+  // try_advance() could free memory this thread is about to read.
+  st.announced.store(global_epoch_.load(std::memory_order_seq_cst),
+                     std::memory_order_seq_cst);
+}
+
+void EpochManager::unpin(int slot) {
+  auto& st = slots_[static_cast<std::size_t>(slot)];
+  if (--st.nesting > 0) return;
+  st.announced.store(kQuiescent, std::memory_order_release);
+}
+
+bool EpochManager::pinned(int slot) const {
+  return slots_[static_cast<std::size_t>(slot)].announced.load(
+             std::memory_order_acquire) != kQuiescent;
+}
+
+void EpochManager::retire_raw(int slot, void* p, void (*deleter)(void*)) {
+  auto& st = slots_[static_cast<std::size_t>(slot)];
+  garbage_[static_cast<std::size_t>(slot)].value.push_back(
+      Retired{p, deleter, global_epoch_.load(std::memory_order_acquire)});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  if (++st.since_collect >= kCollectPeriod) {
+    st.since_collect = 0;
+    collect(slot);
+  }
+}
+
+bool EpochManager::try_advance() {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  const int hw = registry_.high_water();
+  for (int i = 0; i < hw; ++i) {
+    const std::uint64_t a =
+        slots_[static_cast<std::size_t>(i)].announced.load(
+            std::memory_order_seq_cst);
+    if (a != kQuiescent && a != e) return false;  // straggler in an old epoch
+  }
+  std::uint64_t expected = e;
+  global_epoch_.compare_exchange_strong(expected, e + 1,
+                                        std::memory_order_seq_cst);
+  return true;
+}
+
+void EpochManager::collect(int slot) {
+  try_advance();
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  auto& list = garbage_[static_cast<std::size_t>(slot)].value;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    // Retired in epoch r: reclaimable once the global epoch reached r+2,
+    // because every thread pinned then has announced an epoch >= r+1 and so
+    // started after the retire was published.
+    if (list[i].epoch + 2 <= e) {
+      list[i].deleter(list[i].ptr);
+      freed_total_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      list[kept++] = list[i];
+    }
+  }
+  list.resize(kept);
+}
+
+void EpochManager::drain_all() {
+  for (auto& padded : garbage_) {
+    for (auto& item : padded.value) {
+      item.deleter(item.ptr);
+      freed_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+    padded.value.clear();
+  }
+}
+
+}  // namespace zstm::util

@@ -1,0 +1,134 @@
+// Epoch-based reclamation (EBR).
+//
+// The STMs in this repository publish immutable object versions through
+// atomic pointers and retire superseded versions without blocking readers.
+// The paper's prototypes ran on a JVM and delegated this to the garbage
+// collector; EBR is the standard C++ substitute (see DESIGN.md,
+// substitutions table).
+//
+// Protocol (classic 3-epoch scheme):
+//  * A thread *pins* before touching shared version chains, announcing the
+//    global epoch it observed; it unpins afterwards.
+//  * retire(p) tags p with the current global epoch and queues it on the
+//    retiring thread's local list (no synchronization on the list itself —
+//    it is single-owner).
+//  * The global epoch can advance from E to E+1 once every pinned thread
+//    has announced E. A node retired in epoch E is unreachable from any
+//    thread pinned in epoch >= E+2, so it is freed once the global epoch
+//    reaches E+2.
+//
+// A transaction pins for its whole attempt, so any version pointer it reads
+// remains valid until it commits or aborts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/align.hpp"
+#include "util/thread_registry.hpp"
+
+namespace zstm::util {
+
+class EpochManager {
+ public:
+  explicit EpochManager(ThreadRegistry& registry);
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII pin. Re-entrant per slot (nested guards share one announcement).
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(EpochManager* mgr, int slot) : mgr_(mgr), slot_(slot) {
+      mgr_->pin(slot_);
+    }
+    Guard(Guard&& other) noexcept { swap(other); }
+    Guard& operator=(Guard&& other) noexcept {
+      release();
+      swap(other);
+      return *this;
+    }
+    ~Guard() { release(); }
+
+   private:
+    void swap(Guard& other) {
+      std::swap(mgr_, other.mgr_);
+      std::swap(slot_, other.slot_);
+    }
+    void release() {
+      if (mgr_ != nullptr) {
+        mgr_->unpin(slot_);
+        mgr_ = nullptr;
+      }
+    }
+    EpochManager* mgr_ = nullptr;
+    int slot_ = -1;
+  };
+
+  Guard pin_guard(int slot) { return Guard(this, slot); }
+
+  void pin(int slot);
+  void unpin(int slot);
+  bool pinned(int slot) const;
+
+  /// Queue p for deletion once no pinned thread can still reach it.
+  /// Must be called by the thread owning `slot`.
+  template <typename T>
+  void retire(int slot, T* p) {
+    retire_raw(slot, p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  void retire_raw(int slot, void* p, void (*deleter)(void*));
+
+  /// Opportunistically advance the global epoch and free this slot's safe
+  /// garbage. Called automatically every few retirements; callable manually.
+  void collect(int slot);
+
+  /// Free *everything*. Caller must guarantee no thread is pinned (e.g.
+  /// runtime destructor after joining workers).
+  void drain_all();
+
+  std::uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+  std::uint64_t retired_count() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freed_count() const {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  struct alignas(kCacheLine) SlotState {
+    /// kQuiescent when not pinned, else the epoch announced at pin time.
+    std::atomic<std::uint64_t> announced{kQuiescent};
+    /// Nesting depth; only touched by the owning thread.
+    int nesting = 0;
+    /// Retire counter since the last collect(); owner-only.
+    int since_collect = 0;
+  };
+
+  static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+  static constexpr int kCollectPeriod = 64;
+
+  bool try_advance();
+
+  ThreadRegistry& registry_;
+  alignas(kCacheLine) std::atomic<std::uint64_t> global_epoch_{2};
+  std::vector<SlotState> slots_;
+  // Garbage lists are single-owner; one vector per slot, padded apart.
+  std::vector<Padded<std::vector<Retired>>> garbage_;
+  std::atomic<std::uint64_t> retired_total_{0};
+  std::atomic<std::uint64_t> freed_total_{0};
+};
+
+}  // namespace zstm::util

@@ -1,0 +1,57 @@
+// Small, fast, seedable PRNGs for workloads and tests.
+//
+// Benchmarks need a per-thread generator with no shared state (CP.3) and a
+// period far exceeding any run length. splitmix64 seeds xoshiro-style
+// xorshift128+ state so that small consecutive seeds yield uncorrelated
+// streams.
+#pragma once
+
+#include <cstdint>
+
+namespace zstm::util {
+
+/// splitmix64: used to expand a 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xorshift128+ — fast non-cryptographic PRNG, one instance per thread.
+class Xorshift {
+ public:
+  explicit Xorshift(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    s0_ = splitmix64(sm);
+    s1_ = splitmix64(sm);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // the all-zero state is absorbing
+  }
+
+  std::uint64_t next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_unit() < p; }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace zstm::util

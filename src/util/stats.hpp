@@ -1,0 +1,72 @@
+// Per-thread statistics, aggregated on demand.
+//
+// Counters are bumped on transaction hot paths, so each thread slot gets a
+// cache-line-padded block and increments are relaxed (only aggregate totals
+// matter, and they are read after workers quiesce or as monotone progress
+// indicators).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/align.hpp"
+#include "util/thread_registry.hpp"
+
+namespace zstm::util {
+
+enum class Counter : int {
+  kCommits = 0,
+  kAborts,
+  kShortCommits,
+  kShortAborts,
+  kLongCommits,
+  kLongAborts,
+  kReads,
+  kWrites,
+  kExtensions,       // LSA snapshot extensions
+  kExtensionFails,
+  kValidationFails,  // commit-time validation aborts
+  kZoneConflicts,    // Z-STM short transactions hitting an active zone edge
+  kZonePassed,       // Z-STM long transactions passed by a higher zc
+  kCmWaits,          // contention-manager imposed delays
+  kCmKills,          // contention-manager aborts of the enemy
+  kFalseConflicts,   // plausible-clock-induced aborts (vs. exact VC verdict)
+  kCount
+};
+
+const char* counter_name(Counter c);
+
+struct StatsSnapshot {
+  std::array<std::uint64_t, static_cast<std::size_t>(Counter::kCount)> totals{};
+
+  std::uint64_t operator[](Counter c) const {
+    return totals[static_cast<std::size_t>(c)];
+  }
+  std::string to_string() const;
+};
+
+class StatsDomain {
+ public:
+  explicit StatsDomain(const ThreadRegistry& registry);
+
+  void add(int slot, Counter c, std::uint64_t n = 1) {
+    cells_[static_cast<std::size_t>(slot)]
+        .value[static_cast<std::size_t>(c)]
+        .fetch_add(n, std::memory_order_relaxed);
+  }
+
+  StatsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  using Cell =
+      std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(Counter::kCount)>;
+
+  const ThreadRegistry& registry_;
+  std::vector<Padded<Cell>> cells_;
+};
+
+}  // namespace zstm::util

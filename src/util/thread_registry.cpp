@@ -1,0 +1,41 @@
+#include "util/thread_registry.hpp"
+
+namespace zstm::util {
+
+ThreadRegistry::ThreadRegistry(int capacity)
+    : capacity_(capacity), slots_(static_cast<std::size_t>(capacity)) {
+  if (capacity <= 0 || capacity > kMaxThreads) {
+    throw std::invalid_argument("ThreadRegistry capacity out of range");
+  }
+}
+
+ThreadRegistry::Registration ThreadRegistry::attach() {
+  for (int i = 0; i < capacity_; ++i) {
+    bool expected = false;
+    if (slots_[static_cast<std::size_t>(i)].value.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      // Raise the high-water mark so per-slot scans cover this slot.
+      int hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_acq_rel)) {
+      }
+      return Registration(this, i);
+    }
+  }
+  throw std::runtime_error("ThreadRegistry: no free thread slots");
+}
+
+void ThreadRegistry::release_slot(int slot) {
+  slots_[static_cast<std::size_t>(slot)].value.store(false,
+                                                     std::memory_order_release);
+}
+
+void ThreadRegistry::Registration::release() {
+  if (owner_ != nullptr) {
+    owner_->release_slot(slot_);
+    owner_ = nullptr;
+    slot_ = -1;
+  }
+}
+
+}  // namespace zstm::util

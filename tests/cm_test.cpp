@@ -1,0 +1,157 @@
+// Unit tests for the contention-manager policies (§4.1 / DSTM [4]).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cm/contention_manager.hpp"
+
+namespace zstm::cm {
+namespace {
+
+using runtime::TxClass;
+using runtime::TxDescBase;
+
+class PlainDesc : public TxDescBase {
+ public:
+  using TxDescBase::TxDescBase;
+};
+
+std::unique_ptr<PlainDesc> make_desc(std::uint64_t id,
+                                      std::uint64_t start = 0,
+                                      std::uint64_t work = 0) {
+  auto d = std::make_unique<PlainDesc>(id, 0, TxClass::kShort);
+  d->set_start_ticks(start);
+  d->add_work(work);
+  return d;
+}
+
+TEST(Cm, FactoryProducesEveryPolicy) {
+  for (Policy p : {Policy::kAggressive, Policy::kSuicide, Policy::kPolite,
+                   Policy::kKarma, Policy::kTimestamp}) {
+    auto mgr = make_manager(p);
+    ASSERT_NE(mgr, nullptr);
+    EXPECT_EQ(mgr->name(), policy_name(p));
+  }
+}
+
+TEST(Cm, PolicyNamesAreDistinct) {
+  EXPECT_STRNE(policy_name(Policy::kAggressive), policy_name(Policy::kSuicide));
+  EXPECT_STRNE(policy_name(Policy::kKarma), policy_name(Policy::kTimestamp));
+}
+
+TEST(Cm, AggressiveAlwaysKillsOther) {
+  auto mgr = make_manager(Policy::kAggressive);
+  auto me = make_desc(1);
+  auto other = make_desc(2);
+  for (std::uint32_t a = 0; a < 5; ++a) {
+    EXPECT_EQ(mgr->arbitrate(*me, *other, a), Decision::kAbortOther);
+  }
+}
+
+TEST(Cm, SuicideAlwaysKillsSelf) {
+  auto mgr = make_manager(Policy::kSuicide);
+  auto me = make_desc(1);
+  auto other = make_desc(2);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 0), Decision::kAbortSelf);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 100), Decision::kAbortSelf);
+}
+
+TEST(Cm, PoliteWaitsThenEscalates) {
+  auto mgr = make_manager(Policy::kPolite);
+  auto me = make_desc(1);
+  auto other = make_desc(2);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 0), Decision::kWait);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 7), Decision::kWait);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 8), Decision::kAbortOther);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 100), Decision::kAbortOther);
+}
+
+TEST(Cm, KarmaRicherTransactionWinsImmediately) {
+  auto mgr = make_manager(Policy::kKarma);
+  auto me = make_desc(1, 0, /*work=*/50);
+  auto other = make_desc(2, 0, /*work=*/10);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 0), Decision::kAbortOther);
+}
+
+TEST(Cm, KarmaPoorerTransactionWaitsOutTheGap) {
+  auto mgr = make_manager(Policy::kKarma);
+  auto me = make_desc(1, 0, /*work=*/10);
+  auto other = make_desc(2, 0, /*work=*/15);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 0), Decision::kWait);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 4), Decision::kWait);
+  // Patience accumulated ≥ work gap: now the requester may kill.
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 5), Decision::kAbortOther);
+}
+
+TEST(Cm, KarmaEqualWorkFavorsRequester) {
+  auto mgr = make_manager(Policy::kKarma);
+  auto me = make_desc(1, 0, 10);
+  auto other = make_desc(2, 0, 10);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 0), Decision::kAbortOther);
+}
+
+TEST(Cm, TimestampOlderWins) {
+  auto mgr = make_manager(Policy::kTimestamp);
+  auto old_tx = make_desc(1, /*start=*/5);
+  auto young_tx = make_desc(2, /*start=*/9);
+  EXPECT_EQ(mgr->arbitrate(*old_tx, *young_tx, 0), Decision::kAbortOther);
+}
+
+TEST(Cm, TimestampYoungerWaitsThenSelfAborts) {
+  auto mgr = make_manager(Policy::kTimestamp);
+  auto old_tx = make_desc(1, 5);
+  auto young_tx = make_desc(2, 9);
+  EXPECT_EQ(mgr->arbitrate(*young_tx, *old_tx, 0), Decision::kWait);
+  EXPECT_EQ(mgr->arbitrate(*young_tx, *old_tx, 15), Decision::kWait);
+  EXPECT_EQ(mgr->arbitrate(*young_tx, *old_tx, 16), Decision::kAbortSelf);
+}
+
+TEST(Cm, DecisionNamesReadable) {
+  EXPECT_STREQ(to_string(Decision::kAbortOther), "abort-other");
+  EXPECT_STREQ(to_string(Decision::kAbortSelf), "abort-self");
+  EXPECT_STREQ(to_string(Decision::kWait), "wait");
+}
+
+// Descriptor status-protocol tests (the commit CAS discipline every STM
+// relies on).
+
+TEST(TxDesc, EnemyAbortOnlyWhileActive) {
+  PlainDesc d(1, 0, TxClass::kShort);
+  EXPECT_EQ(d.status(), runtime::TxStatus::kActive);
+  ASSERT_TRUE(d.begin_commit());
+  EXPECT_EQ(d.status(), runtime::TxStatus::kCommitting);
+  EXPECT_FALSE(d.abort_by_enemy());  // immune once committing
+  d.finish_commit();
+  EXPECT_EQ(d.status(), runtime::TxStatus::kCommitted);
+  EXPECT_FALSE(d.abort_by_enemy());
+}
+
+TEST(TxDesc, EnemyAbortWinsOverLateCommit) {
+  PlainDesc d(1, 0, TxClass::kShort);
+  ASSERT_TRUE(d.abort_by_enemy());
+  EXPECT_EQ(d.status(), runtime::TxStatus::kAborted);
+  EXPECT_FALSE(d.begin_commit());  // victim discovers the abort
+}
+
+TEST(TxDesc, FinishAbortFromCommitting) {
+  PlainDesc d(1, 0, TxClass::kShort);
+  ASSERT_TRUE(d.begin_commit());
+  d.finish_abort();
+  EXPECT_EQ(d.status(), runtime::TxStatus::kAborted);
+}
+
+TEST(TxDesc, FinishAbortIdempotentOnFinalStates) {
+  PlainDesc d(1, 0, TxClass::kShort);
+  ASSERT_TRUE(d.begin_commit());
+  d.finish_commit();
+  d.finish_abort();  // must not demote a committed transaction
+  EXPECT_EQ(d.status(), runtime::TxStatus::kCommitted);
+}
+
+TEST(TxDesc, StatusNamesReadable) {
+  EXPECT_STREQ(runtime::to_string(runtime::TxStatus::kActive), "active");
+  EXPECT_STREQ(runtime::to_string(runtime::TxStatus::kCommitted), "committed");
+}
+
+}  // namespace
+}  // namespace zstm::cm

@@ -1,0 +1,245 @@
+// Functional tests for S-STM (§4.2): serializability where CS-STM is too
+// weak, Figure 2 in both commit orders, visible-reader machinery, and
+// machine-checked serializability of concurrent histories.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "history/checkers.hpp"
+#include "sstm/sstm.hpp"
+#include "util/rng.hpp"
+
+namespace zstm::sstm {
+namespace {
+
+using util::Counter;
+
+Config quiet_config() {
+  Config cfg;
+  cfg.max_threads = 8;
+  return cfg;
+}
+
+TEST(Sstm, ReadWriteCommitBasics) {
+  Runtime rt(quiet_config());
+  auto x = rt.make_var<int>(1);
+  auto th = rt.attach();
+  rt.run(*th, [&](Tx& tx) {
+    EXPECT_EQ(tx.read(x), 1);
+    tx.write(x, 2);
+    EXPECT_EQ(tx.read(x), 2);
+  });
+  rt.run(*th, [&](Tx& tx) { EXPECT_EQ(tx.read(x), 2); });
+}
+
+TEST(Sstm, RepeatReadsAreStable) {
+  Runtime rt(quiet_config());
+  auto x = rt.make_var<int>(7);
+  auto a = rt.attach();
+  auto b = rt.attach();
+  Tx& ta = a->begin();
+  const int first = ta.read(x);
+  rt.run(*b, [&](Tx& tx) { tx.write(x, 8); });
+  const int second = ta.read(x);  // repeat read: pinned to the same version
+  EXPECT_EQ(first, second);
+  a->commit();  // read-only
+}
+
+TEST(Sstm, AbortDiscardsWrites) {
+  Runtime rt(quiet_config());
+  auto x = rt.make_var<int>(3);
+  auto th = rt.attach();
+  Tx& tx = th->begin();
+  tx.write(x, 4);
+  EXPECT_THROW(tx.abort(), TxAborted);
+  rt.run(*th, [&](Tx& t) { EXPECT_EQ(t.read(x), 3); });
+}
+
+// Verify stamp domination through behaviour: after a committed-reader
+// merge, the overwriting transaction's stamp strictly dominates the
+// committed reader's final stamp.
+TEST(Sstm, AntiDependencyStampsAreCarried) {
+  Config cfg = quiet_config();
+  cfg.record_history = true;
+  Runtime rt(cfg);
+  auto x = rt.make_var<int>(0);
+  auto y = rt.make_var<int>(0);
+  auto a = rt.attach();
+  auto b = rt.attach();
+
+  rt.run(*a, [&](Tx& tx) {
+    (void)tx.read(x);
+    tx.write(y, 1);
+  });
+  rt.run(*b, [&](Tx& tx) { tx.write(x, 2); });  // overwrites a's read
+
+  const auto h = rt.collect_history();
+  // Find the two committed update transactions and check stamp order:
+  // a read x@v0 and b wrote its successor, so a must precede b — S-STM
+  // realizes this by forcing b's stamp strictly above a's.
+  const history::TxRecord* ra = nullptr;
+  const history::TxRecord* rb = nullptr;
+  for (const auto& t : h.txs) {
+    if (!t.committed) continue;
+    if (t.thread_slot == 0) ra = &t;
+    if (t.thread_slot == 1) rb = &t;
+  }
+  ASSERT_NE(ra, nullptr);
+  ASSERT_NE(rb, nullptr);
+  bool leq = true, eq = true;
+  for (std::size_t k = 0; k < ra->stamp.size(); ++k) {
+    if (ra->stamp[k] > rb->stamp[k]) leq = false;
+    if (ra->stamp[k] != rb->stamp[k]) eq = false;
+  }
+  EXPECT_TRUE(leq && !eq) << "anti-dependent writer stamp must dominate";
+}
+
+/// Figure 2 in S-STM: four transactions whose full execution is causally
+/// serializable but NOT serializable; whichever of TL / T3 commits first
+/// must win and the other must abort.
+class Figure2 : public ::testing::TestWithParam<bool> {};
+
+TEST_P(Figure2, OnlyOneOfTlAndT3Commits) {
+  const bool t3_first = GetParam();
+  Runtime rt(quiet_config());
+  auto o1 = rt.make_var<int>(0);
+  auto o2 = rt.make_var<int>(0);
+  auto o3 = rt.make_var<int>(0);
+  auto o4 = rt.make_var<int>(0);
+  auto p1 = rt.attach();
+  auto p2 = rt.attach();
+  auto p3 = rt.attach();
+  auto pl = rt.attach();
+
+  Tx& tl = pl->begin();
+  (void)tl.read(o1);  // pre-T1 versions
+  (void)tl.read(o2);
+
+  Tx& t3 = p3->begin();
+  (void)t3.read(o3);  // pre-T2 version
+
+  rt.run(*p1, [&](Tx& tx) {  // T1: w(o1) w(o2)
+    tx.write(o1, 1);
+    tx.write(o2, 1);
+  });
+  rt.run(*p2, [&](Tx& tx) {  // T2: w(o3) w(o3)
+    tx.write(o3, 1);
+    tx.write(o3, 2);
+  });
+
+  (void)tl.read(o3);   // post-T2: TL must follow T2
+  tl.write(o4, 1);
+  t3.write(o2, 3);     // post-T1: T3 must follow T1
+
+  if (t3_first) {
+    EXPECT_NO_THROW(p3->commit());
+    EXPECT_THROW(pl->commit(), TxAborted);
+  } else {
+    EXPECT_NO_THROW(pl->commit());
+    EXPECT_THROW(p3->commit(), TxAborted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, Figure2, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "T3CommitsFirst"
+                                             : "TLCommitsFirst";
+                         });
+
+TEST(Sstm, WriteWriteConflictArbitrated) {
+  Config cfg = quiet_config();
+  cfg.cm_policy = cm::Policy::kAggressive;
+  Runtime rt(cfg);
+  auto x = rt.make_var<int>(0);
+  auto a = rt.attach();
+  auto b = rt.attach();
+  Tx& ta = a->begin();
+  ta.write(x, 1);
+  rt.run(*b, [&](Tx& tx) { tx.write(x, 2); });
+  EXPECT_THROW(a->commit(), TxAborted);
+}
+
+TEST(Sstm, ConcurrentHistoryIsSerializable) {
+  Config cfg = quiet_config();
+  cfg.max_threads = 16;
+  cfg.record_history = true;
+  Runtime rt(cfg);
+  constexpr int kObjects = 6;
+  std::vector<Var<long>> vars;
+  for (int i = 0; i < kObjects; ++i) vars.push_back(rt.make_var<long>(0));
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      auto th = rt.attach();
+      util::Xorshift rng(static_cast<std::uint64_t>(t) + 29);
+      for (int i = 0; i < 500; ++i) {
+        const auto a = rng.next_below(kObjects);
+        auto b = rng.next_below(kObjects);
+        if (b == a) b = (b + 1) % kObjects;
+        if (rng.chance(0.35)) {
+          rt.run(*th, [&](Tx& tx) {
+            (void)tx.read(vars[a]);
+            (void)tx.read(vars[b]);
+          });
+        } else {
+          rt.run(*th, [&](Tx& tx) {
+            tx.write(vars[b]) += tx.read(vars[a]) + 1;
+          });
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto h = rt.collect_history();
+  ASSERT_GT(h.committed_count(), 0u);
+  auto res = history::check_serializable(h);
+  EXPECT_TRUE(res) << res.reason;
+  // S-STM histories also satisfy the causal obligations (serializability
+  // is strictly stronger).
+  auto causal = history::check_causal_conditions(h);
+  EXPECT_TRUE(causal) << causal.reason;
+}
+
+TEST(Sstm, BankInvariantUnderContention) {
+  Config cfg = quiet_config();
+  cfg.max_threads = 16;
+  Runtime rt(cfg);
+  constexpr int kAccounts = 12;
+  constexpr long kInitial = 40;
+  std::vector<Var<long>> accounts;
+  for (int i = 0; i < kAccounts; ++i) accounts.push_back(rt.make_var<long>(kInitial));
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      auto th = rt.attach();
+      util::Xorshift rng(static_cast<std::uint64_t>(t) + 13);
+      for (int i = 0; i < 800; ++i) {
+        const auto from = rng.next_below(kAccounts);
+        auto to = rng.next_below(kAccounts);
+        if (to == from) to = (to + 1) % kAccounts;
+        rt.run(*th, [&](Tx& tx) {
+          const long amount = 1 + static_cast<long>(rng.next_below(5));
+          tx.write(accounts[from]) -= amount;
+          tx.write(accounts[to]) += amount;
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  auto th = rt.attach();
+  long total = 0;
+  rt.run(*th, [&](Tx& tx) {
+    total = 0;
+    for (auto& a : accounts) total += tx.read(a);
+  });
+  EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+}  // namespace
+}  // namespace zstm::sstm
