@@ -23,8 +23,9 @@
 //            transactions), publish with the single status CAS, remember
 //            VCp (line 31).
 //
-// Old versions: the paper keeps only the last committed version per object
-// (footnote 1). We retain a short chain purely to *find* the immediate
+// Old versions (deviation recorded in DESIGN.md §4): the paper keeps only
+// the last committed version per object (footnote 1). We retain a short
+// chain purely to *find* the immediate
 // successor of a read version during validation; a transaction whose read
 // version was pruned out aborts conservatively, matching the paper's
 // single-version semantics.

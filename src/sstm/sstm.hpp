@@ -24,7 +24,7 @@
 //    conflict, and one aborts.
 //
 // Deviations from the paper's (unpublished) implementation, recorded in
-// DESIGN.md: update-commit validation+publication runs under a global
+// DESIGN.md §4: update-commit validation+publication runs under a global
 // commit mutex instead of a CAS+helping protocol (publication itself is
 // still the single status CAS), reader lists are guarded by per-version
 // spin locks, and transaction descriptors are retained for the runtime's

@@ -4,7 +4,7 @@
 // larger systems because of contention and cache misses" and proposes
 // per-processor real-time clocks, perfectly or internally synchronized, as a
 // scalable time base. Commodity hosts do not expose per-core synchronized
-// hardware clocks to us, so we *simulate* them (DESIGN.md substitution
+// hardware clocks to us, so we *simulate* them (DESIGN.md §3, substitutions
 // table): every thread slot reads std::chrono::steady_clock plus a fixed
 // per-slot offset drawn uniformly from [-deviation, +deviation]. A zero
 // deviation models the "perfectly synchronized" hardware the paper expects

@@ -3,7 +3,7 @@
 // The STMs in this repository publish immutable object versions through
 // atomic pointers and retire superseded versions without blocking readers.
 // The paper's prototypes ran on a JVM and delegated this to the garbage
-// collector; EBR is the standard C++ substitute (see DESIGN.md,
+// collector; EBR is the standard C++ substitute (see DESIGN.md §3,
 // substitutions table).
 //
 // Protocol (classic 3-epoch scheme):

@@ -29,7 +29,7 @@
 // active long transaction (property 4). Everything else — snapshots,
 // validation, commit — is plain LSA (line 23's OpenLSA).
 //
-// Deviation noted in DESIGN.md: our long transactions keep a private list
+// Deviation noted in DESIGN.md §4: our long transactions keep a private list
 // of written objects purely to stamp published versions with an LSA commit
 // time and to release locators; the paper's claim "no read set nor write
 // set" concerns validation work, which is preserved (commit validates

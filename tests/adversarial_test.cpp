@@ -3,6 +3,9 @@
 // the harnesses that found the concurrency bugs catalogued in DESIGN.md §5
 // (zone-claim windows, reader-list compaction, transitive constraint
 // absorption) — kept in the suite to guard the fixes.
+//
+// CTest label: `stress` — randomized multi-threaded rounds; run under TSan
+// in CI (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <atomic>

@@ -1,5 +1,7 @@
 // Tests for automatic long/short classification (§5.3's "automatic marking
 // based on past behaviors of transactions").
+//
+// CTest label: `unit` (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <thread>

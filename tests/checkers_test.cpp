@@ -1,5 +1,8 @@
 // Self-tests for the offline consistency checkers on hand-built histories
 // with known verdicts.
+//
+// CTest label: `smoke` — fast canary, gates CI before the stress suites
+// (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include "history/checkers.hpp"

@@ -1,4 +1,6 @@
 // Unit tests for the contention-manager policies (§4.1 / DSTM [4]).
+//
+// CTest label: `unit` (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <memory>

@@ -1,4 +1,7 @@
 // Multi-threaded stress tests for CS-STM with vector and plausible clocks.
+//
+// CTest label: `stress` — randomized multi-threaded rounds; run under TSan
+// in CI (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <atomic>

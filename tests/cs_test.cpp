@@ -1,6 +1,8 @@
 // Functional tests for CS-STM (Algorithm 1): timestamp propagation,
 // causal-serializability validation, the Figure 1 / Figure 3 behaviours,
 // plausible-clock variants, and history conditions.
+//
+// CTest label: `unit` (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include "cs/cs.hpp"

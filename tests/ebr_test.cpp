@@ -1,5 +1,7 @@
 // Tests for epoch-based reclamation: pinning, deferral, advancement, and a
 // multi-threaded use-after-free hunt.
+//
+// CTest label: `unit` (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <atomic>

@@ -1,5 +1,8 @@
 // Failure injection: stalled owners, abandoned transactions, enemy-abort
 // storms, and recovery of Z-STM zones after a long transaction dies.
+//
+// CTest label: `stress` — randomized multi-threaded rounds; run under TSan
+// in CI (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <atomic>

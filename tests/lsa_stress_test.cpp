@@ -1,6 +1,9 @@
 // Multi-threaded stress tests for LSA-STM: invariant preservation, torn-
 // snapshot hunting, and machine-checked strict serializability of recorded
 // histories, swept over time bases, contention managers and version depths.
+//
+// CTest label: `stress` — randomized multi-threaded rounds; run under TSan
+// in CI (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <atomic>

@@ -5,6 +5,8 @@
 // Deterministic interleavings are produced by attaching several ThreadCtx
 // to one OS thread and stepping them explicitly — the runtime only cares
 // about contexts, not OS threads.
+//
+// CTest label: `unit` (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <string>

@@ -7,6 +7,9 @@
 //
 // Each property is expressed once and driven through per-backend adapters
 // (the runtimes deliberately share an API shape).
+//
+// CTest label: `stress` — randomized multi-threaded rounds; run under TSan
+// in CI (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <atomic>

@@ -8,6 +8,9 @@
 //            transaction proceed and commit after it.
 // Figure 5:  long transactions partition shorts into zones; the recorded
 //            history passes the z-linearizability checker.
+//
+// CTest label: `stress` — randomized multi-threaded rounds; run under TSan
+// in CI (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <set>

@@ -1,0 +1,54 @@
+// Smoke canary: instantiate each of the four runtimes (five entry points —
+// CS-STM comes in vector-clock and plausible-clock flavours) and commit one
+// transaction apiece. CTest labels this suite `smoke` so CI can gate on it
+// before the slow stress suites run.
+#include <gtest/gtest.h>
+
+#include "core/stm.hpp"
+
+namespace zstm {
+namespace {
+
+TEST(Smoke, LsaCommitsOneTransaction) {
+  lsa::Runtime rt;
+  auto x = rt.make_var<int>(1);
+  auto th = rt.attach();
+  rt.run(*th, [&](lsa::Tx& tx) { tx.write(x, tx.read(x) + 1); });
+  rt.run(*th, [&](lsa::Tx& tx) { EXPECT_EQ(tx.read(x), 2); });
+}
+
+TEST(Smoke, CsVectorClockCommitsOneTransaction) {
+  auto rt = cs::make_vc_runtime();
+  auto x = rt->make_var<int>(1);
+  auto th = rt->attach();
+  rt->run(*th, [&](cs::VcRuntime::Tx& tx) { tx.write(x, tx.read(x) + 1); });
+  rt->run(*th, [&](cs::VcRuntime::Tx& tx) { EXPECT_EQ(tx.read(x), 2); });
+}
+
+TEST(Smoke, CsPlausibleClockCommitsOneTransaction) {
+  auto rt = cs::make_rev_runtime(/*entries=*/2);
+  auto x = rt->make_var<int>(1);
+  auto th = rt->attach();
+  rt->run(*th, [&](cs::RevRuntime::Tx& tx) { tx.write(x, tx.read(x) + 1); });
+  rt->run(*th, [&](cs::RevRuntime::Tx& tx) { EXPECT_EQ(tx.read(x), 2); });
+}
+
+TEST(Smoke, SstmCommitsOneTransaction) {
+  sstm::Runtime rt;
+  auto x = rt.make_var<int>(1);
+  auto th = rt.attach();
+  rt.run(*th, [&](sstm::Tx& tx) { tx.write(x, tx.read(x) + 1); });
+  rt.run(*th, [&](sstm::Tx& tx) { EXPECT_EQ(tx.read(x), 2); });
+}
+
+TEST(Smoke, ZstmCommitsShortAndLongTransactions) {
+  zl::Runtime rt;
+  auto x = rt.make_var<int>(1);
+  auto th = rt.attach();
+  rt.run_short(*th, [&](zl::ShortTx& tx) { tx.write(x, tx.read(x) + 1); });
+  rt.run_long(*th, [&](zl::LongTx& tx) { tx.write(x) = tx.read(x) + 1; });
+  rt.run_short(*th, [&](zl::ShortTx& tx) { EXPECT_EQ(tx.read(x), 3); });
+}
+
+}  // namespace
+}  // namespace zstm

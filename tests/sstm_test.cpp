@@ -1,6 +1,8 @@
 // Functional tests for S-STM (§4.2): serializability where CS-STM is too
 // weak, Figure 2 in both commit orders, visible-reader machinery, and
 // machine-checked serializability of concurrent histories.
+//
+// CTest label: `unit` (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <atomic>

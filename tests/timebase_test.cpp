@@ -1,6 +1,9 @@
 // Tests for the time bases: global counter, vector clocks (§4), plausible
 // REV clocks (§4.3) including the four plausibility guarantees, and the
 // simulated synchronized real-time clocks (§2/[9]).
+//
+// CTest label: `smoke` — fast canary, gates CI before the stress suites
+// (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <chrono>

@@ -1,5 +1,8 @@
 // Unit tests for the util substrate: RNG, backoff, spin lock, thread
 // registry, padding, statistics.
+//
+// CTest label: `smoke` — fast canary, gates CI before the stress suites
+// (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <algorithm>

@@ -2,6 +2,9 @@
 // concurrent long transactions (read-only and update Compute-Total), money
 // conservation, long-transaction liveness, and machine-checked
 // z-linearizability of recorded histories.
+//
+// CTest label: `stress` — randomized multi-threaded rounds; run under TSan
+// in CI (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <atomic>

@@ -1,6 +1,8 @@
 // Functional tests for Z-STM (Algorithms 2 and 3): zone assignment and
 // crossing rules, long-transaction timestamp ordering, visible long writes,
 // LZC thread-order protection, and z-linearizability of recorded histories.
+//
+// CTest label: `unit` (DESIGN.md §6).
 #include <gtest/gtest.h>
 
 #include <thread>
