@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "lsa/lsa.hpp"
 #include "util/rng.hpp"
 
@@ -70,21 +71,37 @@ Row trial(zstm::cm::Policy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = zstm::benchjson::json_requested(argc, argv);
   std::printf("Contention-manager ablation: %d threads over %d hot objects\n\n",
               kThreads, kObjects);
   std::printf("%12s %12s %12s %12s %12s\n", "policy", "tx/s", "aborts",
               "cm kills", "cm waits");
+  std::vector<Row> rows;
   for (auto policy :
        {zstm::cm::Policy::kAggressive, zstm::cm::Policy::kSuicide,
         zstm::cm::Policy::kPolite, zstm::cm::Policy::kKarma,
-        zstm::cm::Policy::kTimestamp}) {
+        zstm::cm::Policy::kTimestamp, zstm::cm::Policy::kGreedy,
+        zstm::cm::Policy::kPolka}) {
     const Row r = trial(policy);
+    rows.push_back(r);
     std::printf("%12s %12.0f %12llu %12llu %12llu\n",
                 zstm::cm::policy_name(r.policy), r.tx_per_s,
                 static_cast<unsigned long long>(r.aborts),
                 static_cast<unsigned long long>(r.cm_kills),
                 static_cast<unsigned long long>(r.cm_waits));
+  }
+  if (json) {
+    zstm::benchjson::Doc doc("cm");
+    for (const Row& r : rows) {
+      doc.row()
+          .str("policy", zstm::cm::policy_name(r.policy))
+          .num("tx_per_s", r.tx_per_s)
+          .num("aborts", r.aborts)
+          .num("cm_kills", r.cm_kills)
+          .num("cm_waits", r.cm_waits);
+    }
+    if (!doc.write()) return 1;
   }
   return 0;
 }

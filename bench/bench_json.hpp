@@ -1,0 +1,125 @@
+// Shared JSON emission for the self-contained bench harnesses (ROADMAP
+// baseline item): `--json` makes a bench write BENCH_<name>.json next to
+// its stdout tables so CI can archive the perf trajectory. Host topology is
+// recorded alongside the numbers because the 1-CPU CI box is not
+// representative of the multi-core boxes the figures were tuned on.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+namespace zstm::benchjson {
+
+/// True when argv contains `--json`.
+inline bool json_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return false;
+}
+
+/// One benchmark result row: ordered key → already-encoded JSON value.
+class Row {
+ public:
+  Row& num(const char* key, double v) {
+    // JSON has no NaN/Inf tokens; emit null so the document stays parseable.
+    if (!std::isfinite(v)) {
+      fields_.emplace_back(key, "null");
+      return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  Row& num(const char* key, std::uint64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  Row& num(const char* key, int v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  Row& str(const char* key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + v + "\"");
+    return *this;
+  }
+
+ private:
+  friend class Doc;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates rows and writes `BENCH_<name>.json`:
+///   { "bench": ..., "host": {...}, "rows": [ {...}, ... ] }
+class Doc {
+ public:
+  explicit Doc(std::string name) : name_(std::move(name)) {}
+
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes BENCH_<name>.json into the working directory. Returns false
+  /// (with a message on stderr) if the file cannot be opened.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    write_host(f);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {");
+      const auto& fields = rows_[i].fields_;
+      for (std::size_t k = 0; k < fields.size(); ++k) {
+        std::fprintf(f, "\"%s\": %s%s", fields[k].first.c_str(),
+                     fields[k].second.c_str(),
+                     k + 1 < fields.size() ? ", " : "");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  static void write_host(std::FILE* f) {
+    std::fprintf(f, "  \"host\": {\"hardware_concurrency\": %u",
+                 std::thread::hardware_concurrency());
+#if defined(__unix__) || defined(__APPLE__)
+    struct utsname u{};
+    if (uname(&u) == 0) {
+      std::fprintf(f, ", \"os\": \"%s %s\", \"machine\": \"%s\"", u.sysname,
+                   u.release, u.machine);
+    }
+#endif
+#if defined(NDEBUG)
+    std::fprintf(f, ", \"build\": \"release\"");
+#else
+    std::fprintf(f, ", \"build\": \"debug\"");
+#endif
+    std::fprintf(f, "},\n");
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace zstm::benchjson

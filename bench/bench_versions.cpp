@@ -5,13 +5,20 @@
 //
 // Long read-only scans (LSA) against a transfer storm, sweeping the number
 // of versions kept per object: deeper histories let the scan commit in the
-// past instead of retrying.
+// past instead of retrying. The final rows run the *adaptive* per-object
+// retention mode (object::RetentionMode::kAdaptive, ROADMAP item): the
+// bound starts at 1 everywhere, doubles on too-old-version aborts and
+// decays while quiescent, so hot-scanned objects grow deep histories on
+// their own.
+//
+// `--json` additionally writes BENCH_versions.json (see bench_json.hpp).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "lsa/lsa.hpp"
 #include "util/rng.hpp"
 
@@ -22,16 +29,20 @@ constexpr int kWriterThreads = 2;
 constexpr auto kDuration = std::chrono::milliseconds(200);
 
 struct Row {
-  int versions_kept;
+  const char* mode;
+  int versions_kept;  // fixed bound, or the adaptive starting bound
   double scans_per_s;
   double attempts_per_scan;
   double transfers_per_s;
+  std::uint64_t retention_grows;
+  std::uint64_t retention_decays;
 };
 
-Row trial(int versions_kept) {
+Row trial(zstm::object::RetentionMode mode, int versions_kept) {
   zstm::lsa::Config cfg;
   cfg.max_threads = kWriterThreads + 3;
   cfg.versions_kept = versions_kept;
+  cfg.retention_mode = mode;
   zstm::lsa::Runtime rt(cfg);
   std::vector<zstm::lsa::Var<long>> vars;
   for (int i = 0; i < kAccounts; ++i) vars.push_back(rt.make_var<long>(10));
@@ -82,26 +93,65 @@ Row trial(int versions_kept) {
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  return Row{versions_kept, static_cast<double>(scans) / secs,
-             static_cast<double>(attempts) / static_cast<double>(scans),
-             static_cast<double>(transfers.load()) / secs};
+  const auto stats = rt.stats();
+  const char* label =
+      mode == zstm::object::RetentionMode::kAdaptive ? "adaptive" : "fixed";
+  return Row{label,
+             versions_kept,
+             static_cast<double>(scans) / secs,
+             scans == 0 ? 0.0
+                        : static_cast<double>(attempts) /
+                              static_cast<double>(scans),
+             static_cast<double>(transfers.load()) / secs,
+             stats[zstm::util::Counter::kRetentionGrows],
+             stats[zstm::util::Counter::kRetentionDecays]};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = zstm::benchjson::json_requested(argc, argv);
   std::printf("Multi-version depth ablation (§4.4): %d-account read-only\n"
               "scans against %d transfer threads\n\n",
               kAccounts, kWriterThreads);
-  std::printf("%10s %14s %20s %16s\n", "versions", "scans/s",
-              "attempts per scan", "transfers/s");
+  std::printf("%10s %10s %14s %20s %16s %8s %8s\n", "mode", "versions",
+              "scans/s", "attempts per scan", "transfers/s", "grows",
+              "decays");
+
+  std::vector<Row> rows;
   for (int k : {1, 2, 4, 8, 16}) {
-    const Row r = trial(k);
-    std::printf("%10d %14.1f %20.2f %16.0f\n", r.versions_kept, r.scans_per_s,
-                r.attempts_per_scan, r.transfers_per_s);
+    rows.push_back(trial(zstm::object::RetentionMode::kFixed, k));
+  }
+  // Adaptive retention: start every object at bound 1 and let the too-old
+  // abort feedback find the depth the scan workload actually needs.
+  rows.push_back(trial(zstm::object::RetentionMode::kAdaptive, 1));
+
+  for (const Row& r : rows) {
+    std::printf("%10s %10d %14.1f %20.2f %16.0f %8llu %8llu\n", r.mode,
+                r.versions_kept, r.scans_per_s, r.attempts_per_scan,
+                r.transfers_per_s,
+                static_cast<unsigned long long>(r.retention_grows),
+                static_cast<unsigned long long>(r.retention_decays));
   }
   std::printf("\nExpected: attempts per scan fall sharply as more versions\n"
               "are kept — the scan finds a consistent snapshot in the past\n"
-              "instead of restarting.\n");
+              "instead of restarting. The adaptive row should approach the\n"
+              "deep-fixed rows' scan rate without paying their per-object\n"
+              "memory cost on unscanned objects.\n");
+
+  if (json) {
+    zstm::benchjson::Doc doc("versions");
+    for (const Row& r : rows) {
+      doc.row()
+          .str("mode", r.mode)
+          .num("versions_kept", r.versions_kept)
+          .num("scans_per_s", r.scans_per_s)
+          .num("attempts_per_scan", r.attempts_per_scan)
+          .num("transfers_per_s", r.transfers_per_s)
+          .num("retention_grows", r.retention_grows)
+          .num("retention_decays", r.retention_decays);
+    }
+    if (!doc.write()) return 1;
+  }
   return 0;
 }

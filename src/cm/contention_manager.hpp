@@ -54,6 +54,8 @@ enum class Policy {
   kPolite,      // bounded waiting, then abort the other
   kKarma,       // transaction with more invested work wins
   kTimestamp,   // older transaction wins (greedy-style)
+  kGreedy,      // older-or-waiting owner loses (Guerraoui et al. Greedy)
+  kPolka,       // Karma with exponentially growing patience (Polite+Karma)
 };
 
 std::unique_ptr<ContentionManager> make_manager(Policy policy);

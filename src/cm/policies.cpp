@@ -68,6 +68,45 @@ class Timestamp final : public ContentionManager {
   std::string name() const override { return "timestamp"; }
 };
 
+/// Greedy (Guerraoui, Herlihy, Pochon, DISC'05): priority = start time
+/// (older is higher). The requester kills the owner when the owner has
+/// lower priority *or* is itself waiting on somebody (the `waiting` flag
+/// every runtime sets around its contention back-off); otherwise the
+/// requester waits. Pending-commit owners are left alone — killing a
+/// transaction that has reached kCommitting is impossible anyway, and the
+/// decide-only framework lets the caller discover that.
+class Greedy final : public ContentionManager {
+ public:
+  Decision arbitrate(const runtime::TxDescBase& me,
+                     const runtime::TxDescBase& other,
+                     std::uint32_t) override {
+    if (me.start_ticks() < other.start_ticks() || other.waiting()) {
+      return Decision::kAbortOther;
+    }
+    return Decision::kWait;
+  }
+  std::string name() const override { return "greedy"; }
+};
+
+/// Polka (Scherer & Scott): Karma's work-based priorities with Polite's
+/// exponentially growing patience — the requester backs off attempt times
+/// with exponentially increasing accumulated patience (2^attempt) and
+/// kills the owner once that patience covers the work gap.
+class Polka final : public ContentionManager {
+ public:
+  static constexpr std::uint32_t kMaxDoublings = 16;  // patience cap 2^16
+
+  Decision arbitrate(const runtime::TxDescBase& me,
+                     const runtime::TxDescBase& other,
+                     std::uint32_t attempt) override {
+    const std::uint64_t patience =
+        std::uint64_t{1} << (attempt < kMaxDoublings ? attempt : kMaxDoublings);
+    if (me.work() + patience > other.work()) return Decision::kAbortOther;
+    return Decision::kWait;
+  }
+  std::string name() const override { return "polka"; }
+};
+
 }  // namespace
 
 std::unique_ptr<ContentionManager> make_manager(Policy policy) {
@@ -77,6 +116,8 @@ std::unique_ptr<ContentionManager> make_manager(Policy policy) {
     case Policy::kPolite: return std::make_unique<Polite>();
     case Policy::kKarma: return std::make_unique<Karma>();
     case Policy::kTimestamp: return std::make_unique<Timestamp>();
+    case Policy::kGreedy: return std::make_unique<Greedy>();
+    case Policy::kPolka: return std::make_unique<Polka>();
   }
   return std::make_unique<Polite>();
 }
@@ -88,6 +129,8 @@ const char* policy_name(Policy policy) {
     case Policy::kPolite: return "polite";
     case Policy::kKarma: return "karma";
     case Policy::kTimestamp: return "timestamp";
+    case Policy::kGreedy: return "greedy";
+    case Policy::kPolka: return "polka";
   }
   return "?";
 }

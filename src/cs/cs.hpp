@@ -33,13 +33,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cm/contention_manager.hpp"
 #include "history/recorder.hpp"
+#include "object/object_store.hpp"
 #include "runtime/payload.hpp"
 #include "runtime/txdesc.hpp"
 #include "timebase/plausible_clock.hpp"
@@ -55,8 +54,14 @@ struct TxAborted {};
 
 struct Config {
   int max_threads = 36;
-  /// Committed versions retained per object for successor lookup.
+  /// Committed versions retained per object for successor lookup (starting
+  /// bound in adaptive mode).
   int versions_kept = 4;
+  /// Version retention (paper §4.4); see lsa::Config for the semantics.
+  object::RetentionMode retention_mode = object::RetentionMode::kFixed;
+  int retention_min = 1;
+  int retention_max = 64;
+  int retention_decay_period = 64;
   cm::Policy cm_policy = cm::Policy::kPolite;
   bool record_history = false;
 };
@@ -69,21 +74,6 @@ class RuntimeT {
  public:
   using Stamp = decltype(std::declval<const ClockDomain&>().zero());
 
-  struct Version {
-    explicit Version(runtime::Payload* payload, Stamp stamp)
-        : data(payload), ct(std::move(stamp)) {}
-    ~Version() { delete data; }
-    Version(const Version&) = delete;
-    Version& operator=(const Version&) = delete;
-
-    runtime::Payload* data;
-    /// Commit timestamp of the writing transaction; written before the
-    /// writer's commit CAS, read by others only after observing kCommitted.
-    Stamp ct;
-    std::uint64_t vid = 0;
-    std::atomic<Version*> prev{nullptr};
-  };
-
   class TxDesc final : public runtime::TxDescBase {
    public:
     TxDesc(std::uint64_t id, int slot, Stamp initial)
@@ -94,31 +84,27 @@ class RuntimeT {
     Stamp ct;
   };
 
-  struct Locator {
-    TxDesc* writer = nullptr;
-    Version* tentative = nullptr;
-    Version* committed = nullptr;
+  /// Per-version metadata on the shared substrate: the commit timestamp of
+  /// the writing transaction; written before the writer's commit CAS, read
+  /// by others only after observing kCommitted.
+  struct VersionMeta {
+    Stamp ct;
   };
 
-  struct Object {
-    Object() = default;
-    Object(const Object&) = delete;
-    Object& operator=(const Object&) = delete;
-    std::atomic<Locator*> loc{nullptr};
-    std::uint64_t oid = 0;
+  struct StoreTraits {
+    using Desc = TxDesc;
+    using VersionMeta = RuntimeT::VersionMeta;
+    using ObjectMeta = object::NoMeta;
   };
+
+  using Store = object::ObjectStore<StoreTraits>;
+  using Version = typename Store::Version;
+  using Locator = typename Store::Locator;
+  using Object = typename Store::Object;
+  using OnCommitting = object::OnCommitting;
 
   template <typename T>
-  class Var {
-   public:
-    Var() = default;
-    Object* object() const { return obj_; }
-
-   private:
-    friend class RuntimeT;
-    explicit Var(Object* obj) : obj_(obj) {}
-    Object* obj_ = nullptr;
-  };
+  using Var = typename Store::template Var<T>;
 
   struct ReadEntry {
     Object* obj;
@@ -215,44 +201,15 @@ class RuntimeT {
         epochs_(registry_),
         stats_(registry_),
         recorder_(cfg.record_history, cfg.max_threads),
-        cm_(cm::make_manager(cfg.cm_policy)) {}
-
-  ~RuntimeT() {
-    for (auto& obj : objects_) {
-      Locator* l = obj->loc.load(std::memory_order_relaxed);
-      if (l == nullptr) continue;
-      if (l->writer != nullptr && l->tentative != nullptr) {
-        if (l->writer->status(std::memory_order_relaxed) ==
-            runtime::TxStatus::kCommitted) {
-          destroy_chain(l->tentative);
-        } else {
-          delete l->tentative;
-          destroy_chain(l->committed);
-        }
-      } else {
-        destroy_chain(l->committed);
-      }
-      delete l;
-    }
-  }
+        cm_(cm::make_manager(cfg.cm_policy)),
+        store_(epochs_, stats_, object::retention_policy(cfg)) {}
 
   RuntimeT(const RuntimeT&) = delete;
   RuntimeT& operator=(const RuntimeT&) = delete;
 
   template <typename T>
   Var<T> make_var(T initial) {
-    auto* version = new Version(new runtime::TypedPayload<T>(std::move(initial)),
-                                domain_.zero());
-    auto* locator = new Locator{nullptr, nullptr, version};
-    auto obj = std::make_unique<Object>();
-    obj->loc.store(locator, std::memory_order_release);
-    obj->oid = object_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
-    Object* raw = obj.get();
-    {
-      std::lock_guard<std::mutex> lk(objects_mutex_);
-      objects_.push_back(std::move(obj));
-    }
-    return Var<T>(raw);
+    return store_.template make_var<T>(std::move(initial), domain_.zero());
   }
 
   std::unique_ptr<ThreadCtx> attach() {
@@ -285,74 +242,13 @@ class RuntimeT {
   friend class ThreadCtx;
   friend class Tx;
 
-  enum class OnCommitting { kWait, kFail };
-
-  static void destroy_chain(Version* v) {
-    while (v != nullptr) {
-      Version* p = v->prev.load(std::memory_order_relaxed);
-      delete v;
-      v = p;
-    }
+  Version* resolve(Object& o, const TxDesc* self, OnCommitting mode,
+                   int slot) {
+    return store_.resolve(o, self, mode, slot);
   }
 
   void settle(Object& o, Locator* seen, int slot) {
-    if (seen->writer == nullptr) return;
-    const runtime::TxStatus st = seen->writer->status();
-    if (st != runtime::TxStatus::kCommitted &&
-        st != runtime::TxStatus::kAborted) {
-      return;
-    }
-    Version* current = (st == runtime::TxStatus::kCommitted)
-                           ? seen->tentative
-                           : seen->committed;
-    auto* settled = new Locator{nullptr, nullptr, current};
-    Locator* expected = seen;
-    if (o.loc.compare_exchange_strong(expected, settled,
-                                      std::memory_order_acq_rel)) {
-      if (st == runtime::TxStatus::kAborted) {
-        epochs_.retire(slot, seen->tentative);
-      }
-      epochs_.retire(slot, seen);
-      prune(o, slot);
-    } else {
-      delete settled;
-    }
-  }
-
-  Version* resolve(Object& o, const TxDesc* self, OnCommitting mode,
-                   int slot) {
-    util::Backoff bo;
-    for (;;) {
-      Locator* l = o.loc.load(std::memory_order_acquire);
-      if (l->writer == nullptr || l->writer == self) return l->committed;
-      switch (l->writer->status()) {
-        case runtime::TxStatus::kActive:
-          return l->committed;
-        case runtime::TxStatus::kCommitting:
-          if (mode == OnCommitting::kFail) return nullptr;
-          bo.pause();
-          continue;
-        case runtime::TxStatus::kCommitted:
-        case runtime::TxStatus::kAborted:
-          settle(o, l, slot);
-          continue;
-      }
-    }
-  }
-
-  void prune(Object& o, int slot) {
-    Locator* l = o.loc.load(std::memory_order_acquire);
-    Version* v = l->committed;
-    if (v == nullptr) return;
-    for (int depth = 1; depth < cfg_.versions_kept && v != nullptr; ++depth) {
-      v = v->prev.load(std::memory_order_acquire);
-    }
-    if (v == nullptr) return;
-    Version* suffix = v->prev.exchange(nullptr, std::memory_order_acq_rel);
-    if (suffix == nullptr) return;
-    epochs_.retire_raw(slot, suffix, [](void* p) {
-      destroy_chain(static_cast<Version*>(p));
-    });
+    store_.settle(o, seen, slot);
   }
 
   /// Validation core (Algorithm 1 lines 20-26): returns false if some read
@@ -363,13 +259,12 @@ class RuntimeT {
       if (cur == nullptr) return false;  // mid-commit writer: conservative
       if (cur == r.version) continue;
       // Locate the immediate successor v_{i+1} of the version we read.
-      Version* succ = cur;
-      Version* below = succ->prev.load(std::memory_order_acquire);
-      while (below != nullptr && below != r.version) {
-        succ = below;
-        below = succ->prev.load(std::memory_order_acquire);
+      Version* succ = Store::successor_of(cur, r.version);
+      if (succ == nullptr) {
+        // Pruned: conservative abort (paper's single-version semantics).
+        store_.note_too_old(*r.obj, slot);
+        return false;
       }
-      if (below == nullptr) return false;  // pruned: conservative abort
       // Successor timestamps grow along the chain, so checking the
       // immediate successor suffices: if succ.ct ⋠ T.ct then every later
       // successor (whose stamp dominates succ's) is ⋠ T.ct as well.
@@ -402,11 +297,9 @@ class RuntimeT {
   util::StatsDomain stats_;
   history::Recorder recorder_;
   std::unique_ptr<cm::ContentionManager> cm_;
-  util::PaddedCounter object_ids_;
   util::PaddedCounter tx_ids_;
   util::PaddedCounter ticks_;
-  std::mutex objects_mutex_;
-  std::deque<std::unique_ptr<Object>> objects_;
+  Store store_;
 };
 
 // ---------------------------------------------------------------------------
@@ -561,7 +454,9 @@ runtime::Payload& RuntimeT<D>::Tx::write_object(Object& o) {
           }
           if (dec == cm::Decision::kAbortSelf) fail(util::Counter::kAborts);
           rt.stats_.add(s, util::Counter::kCmWaits);
+          desc_->set_waiting(true);
           bo.pause();
+          desc_->set_waiting(false);
           continue;
         }
       }
@@ -572,18 +467,13 @@ runtime::Payload& RuntimeT<D>::Tx::write_object(Object& o) {
     auto* tent = new Version(base->data->clone(), rt.domain_.zero());
     tent->prev.store(base, std::memory_order_relaxed);
     if (rt.recorder_.enabled()) tent->vid = rt.recorder_.new_version_id();
-    auto* nl = new Locator{desc_, tent, base};
-    Locator* expected = l;
-    if (o.loc.compare_exchange_strong(expected, nl,
-                                      std::memory_order_acq_rel)) {
-      rt.epochs_.retire(s, l);
+    if (rt.store_.install(o, l, desc_, tent, s)) {
       write_set_.push_back({&o, tent});
       desc_->add_work();
       rt.stats_.add(s, util::Counter::kWrites);
       return *tent->data;
     }
     delete tent;
-    delete nl;
   }
 }
 

@@ -25,123 +25,16 @@ Runtime::Runtime(Config cfg)
       stats_(registry_),
       recorder_(cfg.record_history, cfg.max_threads),
       timebase_(make_time_base(cfg)),
-      cm_(cm::make_manager(cfg.cm_policy)) {}
+      cm_(cm::make_manager(cfg.cm_policy)),
+      store_(epochs_, stats_, object::retention_policy(cfg)) {}
 
-Runtime::~Runtime() {
-  // All worker threads must be detached by now; tear down single-threaded.
-  for (auto& obj : objects_) {
-    Locator* l = obj->loc.load(std::memory_order_relaxed);
-    if (l == nullptr) continue;
-    if (l->writer != nullptr && l->tentative != nullptr) {
-      if (l->writer->status(std::memory_order_relaxed) ==
-          runtime::TxStatus::kCommitted) {
-        // The tentative version heads the chain (its prev is `committed`).
-        destroy_chain(l->tentative);
-      } else {
-        delete l->tentative;
-        destroy_chain(l->committed);
-      }
-    } else {
-      destroy_chain(l->committed);
-    }
-    delete l;
-  }
-  // Retired locators/versions/descriptors are freed by the EpochManager's
-  // destructor (drain_all) — disjoint from the live structures above.
-}
-
-void Runtime::destroy_chain(Version* v) {
-  while (v != nullptr) {
-    Version* p = v->prev.load(std::memory_order_relaxed);
-    delete v;
-    v = p;
-  }
-}
-
-Object* Runtime::allocate_object(runtime::Payload* initial) {
-  auto* version = new Version(initial);  // ts = 0, vid = 0: the initial state
-  auto* locator = new Locator{nullptr, nullptr, version};
-  auto obj = std::make_unique<Object>();
-  obj->loc.store(locator, std::memory_order_release);
-  obj->oid = object_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
-  Object* raw = obj.get();
-  {
-    std::lock_guard<std::mutex> lk(objects_mutex_);
-    objects_.push_back(std::move(obj));
-  }
-  return raw;
-}
+// All worker threads must be detached by now; the store tears down the live
+// objects single-threaded, and the EpochManager's destructor (drain_all)
+// frees retired locators/versions/descriptors — disjoint sets.
+Runtime::~Runtime() = default;
 
 std::unique_ptr<ThreadCtx> Runtime::attach() {
   return std::unique_ptr<ThreadCtx>(new ThreadCtx(*this, registry_.attach()));
-}
-
-void Runtime::settle(Object& o, Locator* seen, int slot) {
-  if (seen->writer == nullptr) return;
-  const runtime::TxStatus st = seen->writer->status();
-  if (st != runtime::TxStatus::kCommitted &&
-      st != runtime::TxStatus::kAborted) {
-    return;
-  }
-  Version* current = (st == runtime::TxStatus::kCommitted) ? seen->tentative
-                                                           : seen->committed;
-  auto* settled = new Locator{nullptr, nullptr, current};
-  Locator* expected = seen;
-  if (o.loc.compare_exchange_strong(expected, settled,
-                                    std::memory_order_acq_rel)) {
-    if (st == runtime::TxStatus::kAborted) {
-      // The tentative version never became visible; only the settling
-      // winner retires it, so it is retired exactly once.
-      epochs_.retire(slot, seen->tentative);
-    }
-    epochs_.retire(slot, seen);
-    prune(o, slot);
-  } else {
-    delete settled;
-  }
-}
-
-Version* Runtime::resolve(Object& o, const TxDesc* self, OnCommitting mode,
-                          int slot) {
-  util::Backoff bo;
-  for (;;) {
-    Locator* l = o.loc.load(std::memory_order_acquire);
-    if (l->writer == nullptr || l->writer == self) return l->committed;
-    switch (l->writer->status()) {
-      case runtime::TxStatus::kActive:
-        // Tentative writes are invisible until the writer commits.
-        return l->committed;
-      case runtime::TxStatus::kCommitting:
-        // Its commit stamp may already be drawn; the pending version could
-        // be valid at our snapshot time, so we cannot just take
-        // l->committed. Wait out the short commit window (reads) or report
-        // the hazard (commit-time validation).
-        if (mode == OnCommitting::kFail) return nullptr;
-        bo.pause();
-        continue;
-      case runtime::TxStatus::kCommitted:
-      case runtime::TxStatus::kAborted:
-        settle(o, l, slot);
-        continue;
-    }
-  }
-}
-
-void Runtime::prune(Object& o, int slot) {
-  Locator* l = o.loc.load(std::memory_order_acquire);
-  Version* v = l->committed;
-  if (v == nullptr) return;
-  for (int depth = 1; depth < cfg_.versions_kept && v != nullptr; ++depth) {
-    v = v->prev.load(std::memory_order_acquire);
-  }
-  if (v == nullptr) return;
-  Version* suffix = v->prev.exchange(nullptr, std::memory_order_acq_rel);
-  if (suffix == nullptr) return;
-  // Retire the whole detached suffix as one unit; concurrent pruners obtain
-  // disjoint suffixes because exchange hands out each link exactly once.
-  epochs_.retire_raw(slot, suffix, [](void* p) {
-    destroy_chain(static_cast<Version*>(p));
-  });
 }
 
 // ---------------------------------------------------------------------------
@@ -330,7 +223,8 @@ const runtime::Payload& Tx::read_object(Object& o) {
       v = v->prev.load(std::memory_order_acquire);
     }
     if (v == nullptr) {
-      // The version valid at ub was pruned (versions_kept exceeded).
+      // The version valid at ub was pruned (retention bound exceeded).
+      rt.store().note_too_old(o, s);
       fail(util::Counter::kValidationFails);
     }
   }
@@ -378,7 +272,9 @@ runtime::Payload& Tx::write_object(Object& o) {
           }
           if (d == cm::Decision::kAbortSelf) fail(util::Counter::kAborts);
           rt.stats_.add(s, util::Counter::kCmWaits);
+          desc_->set_waiting(true);
           bo.pause();
+          desc_->set_waiting(false);
           continue;
         }
       }
@@ -393,14 +289,10 @@ runtime::Payload& Tx::write_object(Object& o) {
     auto* tent = new Version(base->data->clone());
     tent->prev.store(base, std::memory_order_relaxed);
     if (rt.recorder_.enabled()) tent->vid = rt.recorder_.new_version_id();
-    auto* nl = new Locator{desc_, tent, base};
-    Locator* expected = l;
     // seq_cst: Z-STM's zone protocol requires this install to be globally
     // ordered against long transactions' zone-stamp writes (Dekker pair
     // with zl::LongTx::claim_zone; see zl::ShortTx::verify_zone_after_write).
-    if (o.loc.compare_exchange_strong(expected, nl,
-                                      std::memory_order_seq_cst)) {
-      rt.epochs_.retire(s, l);
+    if (rt.store_.install(o, l, desc_, tent, s, std::memory_order_seq_cst)) {
       write_set_.push_back({&o, tent});
       if (base->ts > lb_) lb_ = base->ts;
       desc_->add_work();
@@ -408,7 +300,6 @@ runtime::Payload& Tx::write_object(Object& o) {
       return *tent->data;
     }
     delete tent;
-    delete nl;
   }
 }
 
@@ -431,14 +322,10 @@ bool Tx::try_extend() {
     if (cur == r.version) continue;
     // Find the direct successor of the version we read to learn when its
     // validity ended.
-    Version* succ = cur;
-    Version* below = succ->prev.load(std::memory_order_acquire);
-    while (below != nullptr && below != r.version) {
-      succ = below;
-      below = succ->prev.load(std::memory_order_acquire);
-    }
-    if (below == nullptr) {
+    Version* succ = Store::successor_of(cur, r.version);
+    if (succ == nullptr) {
       // Chain pruned past our version; cannot bound its validity.
+      rt.store().note_too_old(*r.obj, s);
       rt.stats_.add(s, util::Counter::kExtensionFails);
       return false;
     }

@@ -35,13 +35,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cm/contention_manager.hpp"
 #include "history/recorder.hpp"
+#include "object/object_store.hpp"
 #include "runtime/payload.hpp"
 #include "runtime/txdesc.hpp"
 #include "timebase/scalar_timebase.hpp"
@@ -60,7 +59,15 @@ struct Config {
   int max_threads = 36;
   /// Committed versions retained per object (K). 1 = single-version (TL2
   /// style); larger values let read-only transactions commit in the past.
+  /// In adaptive retention mode this is the per-object starting bound.
   int versions_kept = 8;
+  /// Version retention (paper §4.4): kFixed keeps versions_kept everywhere;
+  /// kAdaptive gives each object its own bound that doubles on too-old-
+  /// version aborts and decays while quiescent.
+  object::RetentionMode retention_mode = object::RetentionMode::kFixed;
+  int retention_min = 1;
+  int retention_max = 64;
+  int retention_decay_period = 64;
   timebase::TimeBaseKind time_base = timebase::TimeBaseKind::kCounter;
   std::chrono::nanoseconds clock_deviation{0};
   cm::Policy cm_policy = cm::Policy::kPolite;
@@ -75,29 +82,6 @@ class Runtime;
 class ThreadCtx;
 class Tx;
 
-/// A committed (or tentative) object version. `ts` and `vid` are written by
-/// the owning transaction before its commit CAS and read by others only
-/// after they observe kCommitted (release/acquire through the status word).
-struct Version {
-  explicit Version(runtime::Payload* payload) : data(payload) {}
-  ~Version() { delete data; }
-
-  Version(const Version&) = delete;
-  Version& operator=(const Version&) = delete;
-
-  runtime::Payload* data;
-  std::uint64_t ts = 0;
-  std::uint64_t vid = 0;  // history version id (0 when recording disabled)
-  /// Zone (T.zc) of the transaction that published this version; 0 for
-  /// plain LSA. Z-STM long transactions use it to recover the pre-claim
-  /// state of an object: versions carrying the long transaction's own zone
-  /// were committed by shorts serialized *after* it (they adopted its zone
-  /// between the zone claim and the version read) and must be skipped.
-  std::uint64_t zone = 0;
-  /// Next-older committed version; atomically severed when pruning.
-  std::atomic<Version*> prev{nullptr};
-};
-
 class TxDesc final : public runtime::TxDescBase {
  public:
   using TxDescBase::TxDescBase;
@@ -105,39 +89,42 @@ class TxDesc final : public runtime::TxDescBase {
   std::uint64_t commit_ts = 0;
 };
 
-/// Immutable locator (DSTM [4]). The logically current committed version is
-/// `tentative` if `writer` is non-null and committed, otherwise `committed`.
-struct Locator {
-  TxDesc* writer = nullptr;
-  Version* tentative = nullptr;
-  Version* committed = nullptr;
+/// Per-version metadata on the shared substrate (object/versioned.hpp):
+/// the scalar commit stamp and the publishing transaction's zone.
+struct VersionMeta {
+  /// Commit time at which this version became visible; written by the
+  /// owning transaction before its commit CAS and read by others only
+  /// after they observe kCommitted.
+  std::uint64_t ts = 0;
+  /// Zone (T.zc) of the transaction that published this version; 0 for
+  /// plain LSA. Z-STM long transactions use it to recover the pre-claim
+  /// state of an object: versions carrying the long transaction's own zone
+  /// were committed by shorts serialized *after* it (they adopted its zone
+  /// between the zone claim and the version read) and must be skipped.
+  std::uint64_t zone = 0;
 };
 
-/// Transactional object: one atomic locator pointer plus the per-object
-/// zone stamp `zc` used by Z-STM (§5.1; plain LSA ignores it).
-struct Object {
-  Object() = default;
-  Object(const Object&) = delete;
-  Object& operator=(const Object&) = delete;
-
-  std::atomic<Locator*> loc{nullptr};
+/// Per-object metadata: the zone stamp `zc` used by Z-STM (§5.1; plain LSA
+/// ignores it).
+struct ObjectMeta {
   std::atomic<std::uint64_t> zc{0};
-  std::uint64_t oid = 0;
 };
 
-/// Typed handle to a transactional object. Cheap to copy; the object is
-/// owned by the Runtime that created it.
+struct StoreTraits {
+  using Desc = TxDesc;
+  using VersionMeta = lsa::VersionMeta;
+  using ObjectMeta = lsa::ObjectMeta;
+};
+
+using Store = object::ObjectStore<StoreTraits>;
+using Version = Store::Version;
+using Locator = Store::Locator;
+using Object = Store::Object;
+using object::OnCommitting;
+
+/// Typed handle to a transactional object (shared substrate Var).
 template <typename T>
-class Var {
- public:
-  Var() = default;
-  Object* object() const { return obj_; }
-
- private:
-  friend class Runtime;
-  explicit Var(Object* obj) : obj_(obj) {}
-  Object* obj_ = nullptr;
-};
+using Var = Store::Var<T>;
 
 inline constexpr std::uint64_t kOpenEnded = ~std::uint64_t{0};
 
@@ -153,12 +140,6 @@ struct WriteEntry {
   Object* obj;
   Version* tentative;
 };
-
-/// How to treat an object whose writer is mid-commit (kCommitting): reads
-/// wait (the window is short and its stamp may already be drawn); commit
-/// validation fails fast instead, which prevents two committing
-/// transactions from waiting on each other.
-enum class OnCommitting { kWait, kFail };
 
 /// One in-flight transaction attempt. Obtained from ThreadCtx::begin();
 /// reads/writes throw TxAborted on conflict, ThreadCtx::commit() throws on
@@ -281,9 +262,7 @@ class Runtime {
   /// runtime owns the underlying object for its whole lifetime.
   template <typename T>
   Var<T> make_var(T initial) {
-    Object* o =
-        allocate_object(new runtime::TypedPayload<T>(std::move(initial)));
-    return Var<T>(o);
+    return store_.template make_var<T>(std::move(initial));
   }
 
   std::unique_ptr<ThreadCtx> attach();
@@ -318,13 +297,22 @@ class Runtime {
   /// `self` (may be null) marks the caller's descriptor: an object whose
   /// locator the caller owns resolves to its pre-write committed version.
   Version* resolve(Object& o, const TxDesc* self, OnCommitting mode,
-                   int slot);
+                   int slot) {
+    return store_.resolve(o, self, mode, slot);
+  }
 
   /// Replace a finished (committed/aborted) writer's locator with a settled
   /// one. Safe to call concurrently; no-op if the locator moved on.
-  void settle(Object& o, Locator* seen, int slot);
+  void settle(Object& o, Locator* seen, int slot) {
+    store_.settle(o, seen, slot);
+  }
 
-  Object* allocate_object(runtime::Payload* initial);
+  Object* allocate_object(runtime::Payload* initial) {
+    return store_.allocate(initial);
+  }
+
+  /// The shared versioned-object substrate (object/object_store.hpp).
+  Store& store() { return store_; }
 
   util::ThreadRegistry& registry() { return registry_; }
   util::EpochManager& epochs() { return epochs_; }
@@ -345,9 +333,6 @@ class Runtime {
   friend class ThreadCtx;
   friend class Tx;
 
-  void prune(Object& o, int slot);
-  static void destroy_chain(Version* v);
-
   Config cfg_;
   util::ThreadRegistry registry_;
   util::EpochManager epochs_;
@@ -356,10 +341,8 @@ class Runtime {
   timebase::ScalarTimeBase timebase_;
   std::unique_ptr<cm::ContentionManager> cm_;
   util::PaddedCounter ticks_;  // CM start-time ordering
-  util::PaddedCounter object_ids_;
   util::PaddedCounter tx_ids_;
-  std::mutex objects_mutex_;
-  std::deque<std::unique_ptr<Object>> objects_;
+  Store store_;
 };
 
 }  // namespace zstm::lsa

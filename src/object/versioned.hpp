@@ -1,0 +1,101 @@
+// The versioned-object substrate shared by every runtime in this library.
+//
+// DESIGN.md §1 prescribes one object model for all four STMs (DSTM-style
+// locators [4], as the paper requires): a transactional object points to an
+// immutable Locator {writer, tentative, committed}; the logically current
+// version is `tentative` iff the writer's status is kCommitted, and a
+// transaction's whole write set becomes visible atomically when its status
+// word flips — the single-CAS commit. Committed versions form a newest-first
+// chain whose retention is bounded by an ObjectStore policy (paper §4.4).
+//
+// The structures here are parameterized over per-runtime metadata instead of
+// being re-declared per runtime:
+//
+//   * Version<Meta>       — chain node; Meta carries the runtime's stamp
+//                           (LSA scalar ts + Z-STM zone, CS-STM clock-domain
+//                           ct, S-STM ct + reader lists).
+//   * Locator<Desc, Ver>  — the immutable DSTM locator triple.
+//   * Object<Meta, Loc>   — one atomic locator pointer, the object id, the
+//                           adaptive-retention state, and per-runtime object
+//                           metadata (Z-STM's zone stamp `zc`).
+//   * Var<T, Obj>         — the typed user-facing handle.
+//
+// ObjectStore (object_store.hpp) owns the objects and implements the
+// install/settle/resolve/prune protocol over these types.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "runtime/payload.hpp"
+
+namespace zstm::object {
+
+/// A committed (or tentative) object version. `vid` and the Meta fields are
+/// written by the owning transaction before its commit CAS and read by
+/// others only after they observe kCommitted (release/acquire through the
+/// writer's status word).
+template <typename Meta>
+struct Version : Meta {
+  template <typename... MetaArgs>
+  explicit Version(runtime::Payload* payload, MetaArgs&&... meta_args)
+      : Meta(std::forward<MetaArgs>(meta_args)...), data(payload) {}
+  ~Version() { delete data; }
+
+  Version(const Version&) = delete;
+  Version& operator=(const Version&) = delete;
+
+  runtime::Payload* data;
+  std::uint64_t vid = 0;  // history version id (0 when recording disabled)
+  /// Next-older committed version; atomically severed when pruning.
+  std::atomic<Version*> prev{nullptr};
+};
+
+/// Immutable locator (DSTM [4]). The logically current committed version is
+/// `tentative` if `writer` is non-null and committed, otherwise `committed`.
+template <typename Desc, typename Ver>
+struct Locator {
+  Desc* writer = nullptr;
+  Ver* tentative = nullptr;
+  Ver* committed = nullptr;
+};
+
+/// Transactional object: one atomic locator pointer, the object id, the
+/// per-object retention state (ObjectStore's adaptive mode), and whatever
+/// per-runtime metadata Meta adds (e.g. Z-STM's zone stamp `zc`).
+template <typename Meta, typename Loc>
+struct Object : Meta {
+  Object() = default;
+  Object(const Object&) = delete;
+  Object& operator=(const Object&) = delete;
+
+  std::atomic<Loc*> loc{nullptr};
+  std::uint64_t oid = 0;
+
+  /// Current version-retention bound (adaptive mode; fixed mode ignores
+  /// it). Initialized by ObjectStore::allocate.
+  std::atomic<std::uint32_t> keep{0};
+  /// Prunes since the last too-old abort; drives adaptive decay.
+  std::atomic<std::uint32_t> quiet{0};
+};
+
+/// Empty per-runtime metadata (runtimes that need nothing extra).
+struct NoMeta {};
+
+/// Typed handle to a transactional object. Cheap to copy; the object is
+/// owned by the ObjectStore (and thus the Runtime) that created it.
+template <typename T, typename Obj>
+class Var {
+ public:
+  Var() = default;
+  Obj* object() const { return obj_; }
+
+ private:
+  template <typename Traits>
+  friend class ObjectStore;
+  explicit Var(Obj* obj) : obj_(obj) {}
+  Obj* obj_ = nullptr;
+};
+
+}  // namespace zstm::object

@@ -98,6 +98,12 @@ class TxDescBase {
   std::uint32_t retries() const { return retries_; }
   void set_retries(std::uint32_t r) { retries_ = r; }
 
+  /// "Greedy": set by the owner thread while it backs off waiting on a
+  /// conflict; a waiting transaction forfeits its priority and may be
+  /// killed by any requester.
+  bool waiting() const { return waiting_.load(std::memory_order_relaxed); }
+  void set_waiting(bool w) { waiting_.store(w, std::memory_order_relaxed); }
+
  private:
   std::atomic<TxStatus> status_{TxStatus::kActive};
   std::uint64_t id_;
@@ -106,6 +112,7 @@ class TxDescBase {
   std::uint64_t start_ticks_ = 0;
   std::atomic<std::uint64_t> work_{0};
   std::uint32_t retries_ = 0;
+  std::atomic<bool> waiting_{false};
 };
 
 }  // namespace zstm::runtime

@@ -15,34 +15,12 @@ Runtime::Runtime(Config cfg)
       epochs_(registry_),
       stats_(registry_),
       recorder_(cfg.record_history, cfg.max_threads),
-      cm_(cm::make_manager(cfg.cm_policy)) {}
+      cm_(cm::make_manager(cfg.cm_policy)),
+      store_(epochs_, stats_, object::retention_policy(cfg)) {}
 
-Runtime::~Runtime() {
-  for (auto& obj : objects_) {
-    Locator* l = obj->loc.load(std::memory_order_relaxed);
-    if (l == nullptr) continue;
-    if (l->writer != nullptr && l->tentative != nullptr) {
-      if (l->writer->status(std::memory_order_relaxed) ==
-          runtime::TxStatus::kCommitted) {
-        destroy_chain(l->tentative);
-      } else {
-        delete l->tentative;
-        destroy_chain(l->committed);
-      }
-    } else {
-      destroy_chain(l->committed);
-    }
-    delete l;
-  }
-}
-
-void Runtime::destroy_chain(Version* v) {
-  while (v != nullptr) {
-    Version* p = v->prev.load(std::memory_order_relaxed);
-    delete v;
-    v = p;
-  }
-}
+// The store tears down the live objects; runtime-retained descriptors are
+// freed with descs_.
+Runtime::~Runtime() = default;
 
 TxDesc* Runtime::allocate_desc(int slot) {
   const std::uint64_t id =
@@ -58,65 +36,6 @@ TxDesc* Runtime::allocate_desc(int slot) {
 
 std::unique_ptr<ThreadCtx> Runtime::attach() {
   return std::unique_ptr<ThreadCtx>(new ThreadCtx(*this, registry_.attach()));
-}
-
-void Runtime::settle(Object& o, Locator* seen, int slot) {
-  if (seen->writer == nullptr) return;
-  const runtime::TxStatus st = seen->writer->status();
-  if (st != runtime::TxStatus::kCommitted && st != runtime::TxStatus::kAborted) {
-    return;
-  }
-  Version* current =
-      (st == runtime::TxStatus::kCommitted) ? seen->tentative : seen->committed;
-  auto* settled = new Locator{nullptr, nullptr, current};
-  Locator* expected = seen;
-  if (o.loc.compare_exchange_strong(expected, settled,
-                                    std::memory_order_acq_rel)) {
-    if (st == runtime::TxStatus::kAborted) epochs_.retire(slot, seen->tentative);
-    epochs_.retire(slot, seen);
-    prune(o, slot);
-  } else {
-    delete settled;
-  }
-}
-
-Version* Runtime::resolve(Object& o, const TxDesc* self, OnCommitting mode,
-                          int slot) {
-  util::Backoff bo;
-  for (;;) {
-    Locator* l = o.loc.load(std::memory_order_acquire);
-    if (l->writer == nullptr || l->writer == self) return l->committed;
-    switch (l->writer->status()) {
-      case runtime::TxStatus::kActive:
-        return l->committed;
-      case runtime::TxStatus::kCommitting:
-        // "A transaction that cannot progress because it waits for the
-        // outcome of a committing transaction helps that transaction
-        // commit" — our commits are a single CAS, so the only help
-        // possible is waiting out the short window.
-        if (mode == OnCommitting::kFail) return nullptr;
-        bo.pause();
-        continue;
-      case runtime::TxStatus::kCommitted:
-      case runtime::TxStatus::kAborted:
-        settle(o, l, slot);
-        continue;
-    }
-  }
-}
-
-void Runtime::prune(Object& o, int slot) {
-  Locator* l = o.loc.load(std::memory_order_acquire);
-  Version* v = l->committed;
-  if (v == nullptr) return;
-  for (int depth = 1; depth < cfg_.versions_kept && v != nullptr; ++depth) {
-    v = v->prev.load(std::memory_order_acquire);
-  }
-  if (v == nullptr) return;
-  Version* suffix = v->prev.exchange(nullptr, std::memory_order_acq_rel);
-  if (suffix == nullptr) return;
-  epochs_.retire_raw(slot, suffix,
-                     [](void* p) { destroy_chain(static_cast<Version*>(p)); });
 }
 
 bool Runtime::reaches(TxDesc* from, const TxDesc* target, int max_nodes) {
@@ -259,19 +178,16 @@ void ThreadCtx::commit() {
     // CS-STM validation (Algorithm 1, lines 20-26) on the merged stamp.
     bool valid = true;
     for (const auto& r : tx.read_set_) {
-      Version* cur = rt_.resolve(*r.obj, d, Runtime::OnCommitting::kFail, s);
+      Version* cur = rt_.resolve(*r.obj, d, OnCommitting::kFail, s);
       if (cur == nullptr) {
         valid = false;
         break;
       }
       if (cur == r.version) continue;
-      Version* succ = cur;
-      Version* below = succ->prev.load(std::memory_order_acquire);
-      while (below != nullptr && below != r.version) {
-        succ = below;
-        below = succ->prev.load(std::memory_order_acquire);
-      }
-      if (below == nullptr) {
+      Version* succ = Store::successor_of(cur, r.version);
+      if (succ == nullptr) {
+        // Pruned: conservative abort.
+        rt_.store_.note_too_old(*r.obj, s);
         valid = false;
         break;
       }
@@ -436,7 +352,7 @@ const runtime::Payload& Tx::read_object(Object& o) {
   rt.stats_.add(s, util::Counter::kReads);
 
   for (;;) {
-    Version* v = rt.resolve(o, desc_, Runtime::OnCommitting::kWait, s);
+    Version* v = rt.resolve(o, desc_, OnCommitting::kWait, s);
     desc_->ct.merge(v->ct);
     absorb_past_readers(v);
     {
@@ -447,7 +363,7 @@ const runtime::Payload& Tx::read_object(Object& o) {
     // insertion must have published a successor by now; re-checking the
     // current version guarantees either the writer saw us or we see its
     // version and retry.
-    Version* recheck = rt.resolve(o, desc_, Runtime::OnCommitting::kWait, s);
+    Version* recheck = rt.resolve(o, desc_, OnCommitting::kWait, s);
     if (recheck == v) {
       read_set_.push_back({&o, v});
       if (rt.recorder_.enabled()) rec_.reads.push_back({o.oid, v->vid});
@@ -491,7 +407,9 @@ runtime::Payload& Tx::write_object(Object& o) {
           }
           if (dec == cm::Decision::kAbortSelf) fail(util::Counter::kAborts);
           rt.stats_.add(s, util::Counter::kCmWaits);
+          desc_->set_waiting(true);
           bo.pause();
+          desc_->set_waiting(false);
           continue;
         }
       }
@@ -503,18 +421,13 @@ runtime::Payload& Tx::write_object(Object& o) {
     auto* tent = new Version(base->data->clone(), rt.domain_.zero());
     tent->prev.store(base, std::memory_order_relaxed);
     if (rt.recorder_.enabled()) tent->vid = rt.recorder_.new_version_id();
-    auto* nl = new Locator{desc_, tent, base};
-    Locator* expected = l;
-    if (o.loc.compare_exchange_strong(expected, nl,
-                                      std::memory_order_acq_rel)) {
-      rt.epochs_.retire(s, l);
+    if (rt.store_.install(o, l, desc_, tent, s)) {
       write_set_.push_back({&o, tent});
       desc_->add_work();
       rt.stats_.add(s, util::Counter::kWrites);
       return *tent->data;
     }
     delete tent;
-    delete nl;
   }
 }
 

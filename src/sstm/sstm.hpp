@@ -42,6 +42,7 @@
 
 #include "cm/contention_manager.hpp"
 #include "history/recorder.hpp"
+#include "object/object_store.hpp"
 #include "runtime/payload.hpp"
 #include "runtime/txdesc.hpp"
 #include "timebase/vector_clock.hpp"
@@ -57,7 +58,14 @@ struct TxAborted {};
 
 struct Config {
   int max_threads = 36;
+  /// Committed versions retained per object (starting bound in adaptive
+  /// mode).
   int versions_kept = 4;
+  /// Version retention (paper §4.4); see lsa::Config for the semantics.
+  object::RetentionMode retention_mode = object::RetentionMode::kFixed;
+  int retention_min = 1;
+  int retention_max = 64;
+  int retention_decay_period = 64;
   cm::Policy cm_policy = cm::Policy::kPolite;
   bool record_history = false;
 };
@@ -92,17 +100,12 @@ class TxDesc final : public runtime::TxDescBase {
   }
 };
 
-struct Version {
-  Version(runtime::Payload* payload, timebase::VcStamp stamp)
-      : data(payload), ct(std::move(stamp)) {}
-  ~Version() { delete data; }
-  Version(const Version&) = delete;
-  Version& operator=(const Version&) = delete;
+/// Per-version metadata on the shared substrate: the vector-clock commit
+/// stamp plus S-STM's visible-reader machinery.
+struct VersionMeta {
+  explicit VersionMeta(timebase::VcStamp stamp) : ct(std::move(stamp)) {}
 
-  runtime::Payload* data;
   timebase::VcStamp ct;  // written pre-publication by the committing writer
-  std::uint64_t vid = 0;
-  std::atomic<Version*> prev{nullptr};
 
   /// Active transactions that had read the *previous* version(s) when this
   /// version's writer committed (§4.2). Written pre-publication; immutable
@@ -114,31 +117,20 @@ struct Version {
   std::vector<TxDesc*> readers;
 };
 
-struct Locator {
-  TxDesc* writer = nullptr;
-  Version* tentative = nullptr;
-  Version* committed = nullptr;
+struct StoreTraits {
+  using Desc = TxDesc;
+  using VersionMeta = sstm::VersionMeta;
+  using ObjectMeta = object::NoMeta;
 };
 
-struct Object {
-  Object() = default;
-  Object(const Object&) = delete;
-  Object& operator=(const Object&) = delete;
-  std::atomic<Locator*> loc{nullptr};
-  std::uint64_t oid = 0;
-};
+using Store = object::ObjectStore<StoreTraits>;
+using Version = Store::Version;
+using Locator = Store::Locator;
+using Object = Store::Object;
+using object::OnCommitting;
 
 template <typename T>
-class Var {
- public:
-  Var() = default;
-  Object* object() const { return obj_; }
-
- private:
-  friend class Runtime;
-  explicit Var(Object* obj) : obj_(obj) {}
-  Object* obj_ = nullptr;
-};
+using Var = Store::Var<T>;
 
 struct ReadEntry {
   Object* obj;
@@ -234,18 +226,7 @@ class Runtime {
 
   template <typename T>
   Var<T> make_var(T initial) {
-    auto* version = new Version(
-        new runtime::TypedPayload<T>(std::move(initial)), domain_.zero());
-    auto* locator = new Locator{nullptr, nullptr, version};
-    auto obj = std::make_unique<Object>();
-    obj->loc.store(locator, std::memory_order_release);
-    obj->oid = object_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
-    Object* raw = obj.get();
-    {
-      std::lock_guard<std::mutex> lk(objects_mutex_);
-      objects_.push_back(std::move(obj));
-    }
-    return Var<T>(raw);
+    return store_.template make_var<T>(std::move(initial), domain_.zero());
   }
 
   std::unique_ptr<ThreadCtx> attach();
@@ -274,12 +255,13 @@ class Runtime {
   friend class ThreadCtx;
   friend class Tx;
 
-  enum class OnCommitting { kWait, kFail };
-
-  static void destroy_chain(Version* v);
-  void settle(Object& o, Locator* seen, int slot);
-  Version* resolve(Object& o, const TxDesc* self, OnCommitting mode, int slot);
-  void prune(Object& o, int slot);
+  void settle(Object& o, Locator* seen, int slot) {
+    store_.settle(o, seen, slot);
+  }
+  Version* resolve(Object& o, const TxDesc* self, OnCommitting mode,
+                   int slot) {
+    return store_.resolve(o, self, mode, slot);
+  }
 
   TxDesc* allocate_desc(int slot);
 
@@ -294,11 +276,8 @@ class Runtime {
   util::StatsDomain stats_;
   history::Recorder recorder_;
   std::unique_ptr<cm::ContentionManager> cm_;
-  util::PaddedCounter object_ids_;
   util::PaddedCounter tx_ids_;
   util::PaddedCounter ticks_;
-  std::mutex objects_mutex_;
-  std::deque<std::unique_ptr<Object>> objects_;
 
   /// Descriptors are retained for the runtime's lifetime: reader lists and
   /// past-reader lists may reference a descriptor long after its
@@ -308,6 +287,10 @@ class Runtime {
 
   /// Serializes update-commit validation + publication (see header).
   std::mutex commit_mutex_;
+
+  /// Declared after descs_: the store's destructor reads locator writers'
+  /// status, so the descriptors must still be alive when it runs.
+  Store store_;
 };
 
 }  // namespace zstm::sstm

@@ -22,6 +22,8 @@ const char* counter_name(Counter c) {
     case Counter::kCmWaits: return "cm_waits";
     case Counter::kCmKills: return "cm_kills";
     case Counter::kFalseConflicts: return "false_conflicts";
+    case Counter::kRetentionGrows: return "retention_grows";
+    case Counter::kRetentionDecays: return "retention_decays";
     case Counter::kCount: break;
   }
   return "?";

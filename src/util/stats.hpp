@@ -34,6 +34,8 @@ enum class Counter : int {
   kCmWaits,          // contention-manager imposed delays
   kCmKills,          // contention-manager aborts of the enemy
   kFalseConflicts,   // plausible-clock-induced aborts (vs. exact VC verdict)
+  kRetentionGrows,   // adaptive retention: per-object bound doubled
+  kRetentionDecays,  // adaptive retention: per-object bound shrank by one
   kCount
 };
 

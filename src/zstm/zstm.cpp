@@ -304,7 +304,9 @@ lsa::Locator* LongTx::acquire_ready_locator(lsa::Object& o) {
           throw TxAborted{};
         }
         sub.stats_domain().add(s, util::Counter::kCmWaits);
+        desc_->set_waiting(true);
         bo.pause();
+        desc_->set_waiting(false);
         continue;
       }
     }
@@ -339,6 +341,7 @@ const runtime::Payload& LongTx::read_object(lsa::Object& o) {
   if (v == nullptr || v->zone > zc_) {
     // Pruned underneath us, or a later long transaction's write is already
     // current: we cannot recover a consistent pre-claim state.
+    if (v == nullptr) sub.store().note_too_old(o, s);
     sub.stats_domain().add(s, util::Counter::kZonePassed);
     ctx_.abort_long_attempt();
     throw TxAborted{};
@@ -366,18 +369,13 @@ runtime::Payload& LongTx::write_object(lsa::Object& o) {
     auto* tent = new lsa::Version(base->data->clone());
     tent->prev.store(base, std::memory_order_relaxed);
     if (sub.recorder().enabled()) tent->vid = sub.recorder().new_version_id();
-    auto* nl = new lsa::Locator{desc_, tent, base};
-    lsa::Locator* expected = l;
-    if (o.loc.compare_exchange_strong(expected, nl,
-                                      std::memory_order_acq_rel)) {
-      sub.epochs().retire(s, l);
+    if (sub.store().install(o, l, desc_, tent, s)) {
       write_set_.push_back({&o, tent});
       desc_->add_work();
       sub.stats_domain().add(s, util::Counter::kWrites);
       return *tent->data;
     }
     delete tent;
-    delete nl;
   }
 }
 

@@ -13,13 +13,15 @@
 #include <vector>
 
 #include "core/stm.hpp"
+#include "stress_env.hpp"
 #include "util/rng.hpp"
 
 namespace zstm {
 namespace {
 
 TEST(Adversarial, SstmRoundsStaySerializable) {
-  for (int round = 0; round < 30; ++round) {
+  const int kSstmRounds = test_env::stress_rounds(30);
+  for (int round = 0; round < kSstmRounds; ++round) {
     sstm::Config cfg;
     cfg.max_threads = 16;
     cfg.record_history = true;
@@ -56,7 +58,8 @@ TEST(Adversarial, SstmRoundsStaySerializable) {
 }
 
 TEST(Adversarial, ZStmRoundsStayZLinearizable) {
-  for (int round = 0; round < 25; ++round) {
+  const int kZRounds = test_env::stress_rounds(25);
+  for (int round = 0; round < kZRounds; ++round) {
     zl::Config cfg;
     cfg.lsa.record_history = true;
     zl::Runtime rt(cfg);
@@ -97,7 +100,8 @@ TEST(Adversarial, ZStmRoundsStayZLinearizable) {
 }
 
 TEST(Adversarial, LsaRoundsStayStrictlySerializable) {
-  for (int round = 0; round < 25; ++round) {
+  const int kLsaRounds = test_env::stress_rounds(25);
+  for (int round = 0; round < kLsaRounds; ++round) {
     lsa::Config cfg;
     cfg.max_threads = 16;
     cfg.record_history = true;
@@ -154,7 +158,8 @@ TEST(Adversarial, LsaRoundsStayStrictlySerializable) {
 }
 
 TEST(Adversarial, CsRoundsSatisfyCausalConditions) {
-  for (int round = 0; round < 20; ++round) {
+  const int kCsRounds = test_env::stress_rounds(20);
+  for (int round = 0; round < kCsRounds; ++round) {
     cs::Config cfg;
     cfg.max_threads = 16;
     cfg.record_history = true;

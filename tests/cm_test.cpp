@@ -29,7 +29,8 @@ std::unique_ptr<PlainDesc> make_desc(std::uint64_t id,
 
 TEST(Cm, FactoryProducesEveryPolicy) {
   for (Policy p : {Policy::kAggressive, Policy::kSuicide, Policy::kPolite,
-                   Policy::kKarma, Policy::kTimestamp}) {
+                   Policy::kKarma, Policy::kTimestamp, Policy::kGreedy,
+                   Policy::kPolka}) {
     auto mgr = make_manager(p);
     ASSERT_NE(mgr, nullptr);
     EXPECT_EQ(mgr->name(), policy_name(p));
@@ -106,6 +107,51 @@ TEST(Cm, TimestampYoungerWaitsThenSelfAborts) {
   EXPECT_EQ(mgr->arbitrate(*young_tx, *old_tx, 0), Decision::kWait);
   EXPECT_EQ(mgr->arbitrate(*young_tx, *old_tx, 15), Decision::kWait);
   EXPECT_EQ(mgr->arbitrate(*young_tx, *old_tx, 16), Decision::kAbortSelf);
+}
+
+TEST(Cm, GreedyOlderRequesterWins) {
+  auto mgr = make_manager(Policy::kGreedy);
+  auto old_tx = make_desc(1, /*start=*/3);
+  auto young_tx = make_desc(2, /*start=*/8);
+  EXPECT_EQ(mgr->arbitrate(*old_tx, *young_tx, 0), Decision::kAbortOther);
+}
+
+TEST(Cm, GreedyYoungerRequesterWaitsOnRunningOwner) {
+  auto mgr = make_manager(Policy::kGreedy);
+  auto old_tx = make_desc(1, 3);
+  auto young_tx = make_desc(2, 8);
+  // The elder is running (not waiting): the younger requester must wait,
+  // however many times it re-examines the conflict.
+  EXPECT_EQ(mgr->arbitrate(*young_tx, *old_tx, 0), Decision::kWait);
+  EXPECT_EQ(mgr->arbitrate(*young_tx, *old_tx, 50), Decision::kWait);
+}
+
+TEST(Cm, GreedyWaitingOwnerForfeitsPriority) {
+  auto mgr = make_manager(Policy::kGreedy);
+  auto old_tx = make_desc(1, 3);
+  auto young_tx = make_desc(2, 8);
+  old_tx->set_waiting(true);  // the elder is blocked on somebody else
+  EXPECT_EQ(mgr->arbitrate(*young_tx, *old_tx, 0), Decision::kAbortOther);
+  old_tx->set_waiting(false);
+  EXPECT_EQ(mgr->arbitrate(*young_tx, *old_tx, 0), Decision::kWait);
+}
+
+TEST(Cm, PolkaRicherTransactionWinsImmediately) {
+  auto mgr = make_manager(Policy::kPolka);
+  auto me = make_desc(1, 0, /*work=*/50);
+  auto other = make_desc(2, 0, /*work=*/10);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 0), Decision::kAbortOther);
+}
+
+TEST(Cm, PolkaPatienceGrowsExponentially) {
+  auto mgr = make_manager(Policy::kPolka);
+  auto me = make_desc(1, 0, /*work=*/0);
+  auto other = make_desc(2, 0, /*work=*/100);
+  // Patience 2^attempt must *exceed* the work gap of 100: attempts 0..6
+  // wait (1, 2, ..., 64), attempt 7 kills (128 > 100).
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 0), Decision::kWait);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 6), Decision::kWait);
+  EXPECT_EQ(mgr->arbitrate(*me, *other, 7), Decision::kAbortOther);
 }
 
 TEST(Cm, DecisionNamesReadable) {

@@ -1,0 +1,45 @@
+// External-consumer smoke test: commits one transaction on each runtime
+// through the installed package (mirrors tests/smoke_test.cpp, but built
+// against find_package(zstm) instead of the source tree).
+#include <cstdio>
+
+#include "core/stm.hpp"
+
+int main() {
+  // LSA
+  {
+    zstm::lsa::Runtime rt;
+    auto v = rt.make_var<long>(1);
+    auto th = rt.attach();
+    rt.run(*th, [&](zstm::lsa::Tx& tx) { tx.write(v) += 1; });
+  }
+  // CS (vector clocks)
+  {
+    auto rt = zstm::cs::make_vc_runtime();
+    auto v = rt->make_var<long>(1);
+    auto th = rt->attach();
+    rt->run(*th, [&](zstm::cs::VcRuntime::Tx& tx) { tx.write(v) += 1; });
+  }
+  // S-STM
+  {
+    zstm::sstm::Runtime rt;
+    auto v = rt.make_var<long>(1);
+    auto th = rt.attach();
+    rt.run(*th, [&](zstm::sstm::Tx& tx) { tx.write(v) += 1; });
+  }
+  // Z-STM (short + long)
+  {
+    zstm::zl::Runtime rt;
+    auto v = rt.make_var<long>(1);
+    auto th = rt.attach();
+    rt.run_short(*th, [&](zstm::zl::ShortTx& tx) { tx.write(v) += 1; });
+    long seen = 0;
+    rt.run_long(*th, [&](zstm::zl::LongTx& tx) { seen = tx.read(v); });
+    if (seen != 2) {
+      std::fprintf(stderr, "unexpected value %ld\n", seen);
+      return 1;
+    }
+  }
+  std::printf("zstm consumer smoke test passed\n");
+  return 0;
+}

@@ -10,6 +10,7 @@
 
 #include "cs/cs.hpp"
 #include "history/checkers.hpp"
+#include "stress_env.hpp"
 #include "util/rng.hpp"
 
 namespace zstm::cs {
@@ -54,24 +55,24 @@ void run_bank(RuntimePtr& rt, int threads, int transfers_per_thread) {
 
 TEST(CsStress, BankInvariantVectorClocks) {
   auto rt = make_vc_runtime(Config{.max_threads = 16});
-  run_bank(rt, 4, 1500);
+  run_bank(rt, 4, test_env::stress_rounds(1500));
 }
 
 TEST(CsStress, BankInvariantRevTwoEntries) {
   auto rt = make_rev_runtime(2, Config{.max_threads = 16});
-  run_bank(rt, 4, 1500);
+  run_bank(rt, 4, test_env::stress_rounds(1500));
 }
 
 TEST(CsStress, BankInvariantRevScalar) {
   auto rt = make_rev_runtime(1, Config{.max_threads = 16});
-  run_bank(rt, 4, 1500);
+  run_bank(rt, 4, test_env::stress_rounds(1500));
 }
 
 TEST(CsStress, BankInvariantAggressiveCm) {
   Config cfg{.max_threads = 16};
   cfg.cm_policy = cm::Policy::kAggressive;
   auto rt = make_vc_runtime(cfg);
-  run_bank(rt, 4, 1500);
+  run_bank(rt, 4, test_env::stress_rounds(1500));
 }
 
 TEST(CsStress, SingleChainReadersNeverSeeTornState) {
@@ -88,7 +89,7 @@ TEST(CsStress, SingleChainReadersNeverSeeTornState) {
     workers.emplace_back([&, t] {
       auto th = rt->attach();
       util::Xorshift rng(static_cast<std::uint64_t>(t) + 5);
-      for (int i = 0; i < 2500; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(2500); i < n; ++i) {
         rt->run(*th, [&](VcRuntime::Tx& tx) {
           const long d = 1 + static_cast<long>(rng.next_below(7));
           tx.write(x) += d;
@@ -127,7 +128,7 @@ TEST(CsStress, RecordedHistorySatisfiesCausalConditions) {
     workers.emplace_back([&, t] {
       auto th = rt->attach();
       util::Xorshift rng(static_cast<std::uint64_t>(t) + 11);
-      for (int i = 0; i < 600; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(600); i < n; ++i) {
         const auto a = rng.next_below(kObjects);
         auto b = rng.next_below(kObjects);
         if (b == a) b = (b + 1) % kObjects;
@@ -164,7 +165,7 @@ TEST(CsStress, RevHistoriesSatisfyCausalConditionsForAllR) {
       workers.emplace_back([&, t] {
         auto th = rt->attach();
         util::Xorshift rng(static_cast<std::uint64_t>(t) + 3);
-        for (int i = 0; i < 400; ++i) {
+        for (int i = 0, n = test_env::stress_rounds(400); i < n; ++i) {
           rt->run(*th, [&](RevRuntime::Tx& tx) {
             if (rng.chance(0.5)) {
               tx.write(x) += tx.read(y);

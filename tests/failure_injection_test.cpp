@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/stm.hpp"
+#include "stress_env.hpp"
 #include "util/rng.hpp"
 
 namespace zstm {
@@ -66,7 +67,7 @@ TEST(FailureInjection, EnemyAbortStormPreservesCounts) {
   lsa::Runtime rt(cfg);
   auto x = rt.make_var<long>(0);
   constexpr int kThreads = 4;
-  constexpr int kIncrements = 2000;
+  const int kIncrements = test_env::stress_rounds(2000);
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&] {
@@ -128,7 +129,7 @@ TEST(FailureInjection, SstmSurvivesKilledReaders) {
     workers.emplace_back([&, t] {
       auto th = rt.attach();
       util::Xorshift rng(static_cast<std::uint64_t>(t) + 911);
-      for (int i = 0; i < 1000; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(1000); i < n; ++i) {
         rt.run(*th, [&](sstm::Tx& tx) {
           if (rng.chance(0.5)) {
             tx.write(x) += tx.read(y);
@@ -168,7 +169,7 @@ TEST(FailureInjection, ZShortStormAroundAbortingLongs) {
     workers.emplace_back([&, t] {
       auto th = rt.attach();
       util::Xorshift rng(static_cast<std::uint64_t>(t) + 71);
-      for (int i = 0; i < 1200; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(1200); i < n; ++i) {
         const auto from = rng.next_below(kAccounts);
         auto to = rng.next_below(kAccounts);
         if (to == from) to = (to + 1) % kAccounts;

@@ -13,6 +13,7 @@
 
 #include "history/checkers.hpp"
 #include "lsa/lsa.hpp"
+#include "stress_env.hpp"
 #include "util/rng.hpp"
 
 namespace zstm::lsa {
@@ -47,7 +48,7 @@ class LsaStress : public ::testing::TestWithParam<StressParam> {
 TEST_P(LsaStress, BankInvariantHolds) {
   constexpr int kAccounts = 32;
   constexpr long kInitial = 100;
-  constexpr int kTransfersPerThread = 2000;
+  const int kTransfersPerThread = test_env::stress_rounds(2000);
 
   Runtime rt(make_config());
   std::vector<Var<long>> accounts;
@@ -100,7 +101,7 @@ TEST_P(LsaStress, ReadersNeverSeeTornSnapshots) {
     workers.emplace_back([&, t] {
       auto th = rt.attach();
       util::Xorshift rng(static_cast<std::uint64_t>(t) + 77);
-      for (int i = 0; i < 3000; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(3000); i < n; ++i) {
         rt.run(*th, [&](Tx& tx) {
           const long delta = 1 + static_cast<long>(rng.next_below(9));
           tx.write(x) += delta;
@@ -141,7 +142,7 @@ TEST_P(LsaStress, RecordedHistoryIsStrictlySerializable) {
     workers.emplace_back([&, t] {
       auto th = rt.attach();
       util::Xorshift rng(static_cast<std::uint64_t>(t) + 31);
-      for (int i = 0; i < 800; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(800); i < n; ++i) {
         if (rng.chance(0.3)) {
           rt.run(*th, [&](Tx& tx) {  // read-only scan of three objects
             long sink = 0;

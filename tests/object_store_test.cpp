@@ -1,0 +1,318 @@
+// Unit tests for the shared versioned-object substrate (src/object/):
+// chain walking, locator settling, prune-vs-pinned-reader interaction
+// through EBR, and the adaptive-retention grow/decay transitions.
+//
+// CTest label: `unit` (DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "object/object_store.hpp"
+#include "runtime/payload.hpp"
+#include "runtime/txdesc.hpp"
+#include "util/ebr.hpp"
+#include "util/stats.hpp"
+#include "util/thread_registry.hpp"
+
+namespace zstm::object {
+namespace {
+
+class TestDesc final : public runtime::TxDescBase {
+ public:
+  using TxDescBase::TxDescBase;
+};
+
+struct TestVersionMeta {
+  std::uint64_t ts = 0;
+};
+
+struct TestTraits {
+  using Desc = TestDesc;
+  using VersionMeta = TestVersionMeta;
+  using ObjectMeta = NoMeta;
+};
+
+using Store = ObjectStore<TestTraits>;
+using Version = Store::Version;
+using Locator = Store::Locator;
+using Object = Store::Object;
+
+/// Test rig: registry + EBR + stats + a store with the given policy.
+struct Rig {
+  explicit Rig(RetentionPolicy policy)
+      : registry(8), epochs(registry), stats(registry),
+        store(epochs, stats, policy) {}
+
+  util::ThreadRegistry registry;
+  util::EpochManager epochs;
+  util::StatsDomain stats;
+  Store store;
+};
+
+/// Commit one new version of `o` through the full locator protocol:
+/// install a writer locator, flip the descriptor to committed, settle.
+/// Returns the newly committed version. The descriptor must outlive any
+/// use of the locator, so the caller provides it.
+Version* commit_version(Rig& rig, Object& o, TestDesc& d, std::uint64_t ts,
+                        int slot, long value) {
+  Locator* l = o.loc.load(std::memory_order_acquire);
+  EXPECT_EQ(l->writer, nullptr);
+  auto* tent = new Version(new runtime::TypedPayload<long>(value));
+  tent->prev.store(l->committed, std::memory_order_relaxed);
+  EXPECT_TRUE(rig.store.install(o, l, &d, tent, slot));
+  tent->ts = ts;
+  d.finish_commit();
+  Locator* owned = o.loc.load(std::memory_order_acquire);
+  rig.store.settle(o, owned, slot);
+  return tent;
+}
+
+int chain_length(Object& o) {
+  Version* v = o.loc.load(std::memory_order_acquire)->committed;
+  int n = 0;
+  while (v != nullptr) {
+    ++n;
+    v = v->prev.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+RetentionPolicy fixed_policy(int kept) {
+  return RetentionPolicy{RetentionMode::kFixed, kept, 1, 64, 64};
+}
+
+TEST(ObjectStore, AllocateCreatesSettledInitialState) {
+  Rig rig(fixed_policy(4));
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(7));
+  Locator* l = o->loc.load(std::memory_order_acquire);
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->writer, nullptr);
+  EXPECT_EQ(l->tentative, nullptr);
+  ASSERT_NE(l->committed, nullptr);
+  EXPECT_EQ(runtime::payload_as<long>(*l->committed->data), 7);
+  EXPECT_EQ(o->oid, 1u);
+  EXPECT_EQ(rig.store.kept_bound(*o), 4u);
+}
+
+TEST(ObjectStore, SettleCommittedWriterPublishesTentative) {
+  Rig rig(fixed_policy(8));
+  auto reg = rig.registry.attach();
+  const int s = reg.slot();
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(0));
+
+  TestDesc d(1, s, runtime::TxClass::kShort);
+  Version* v1 = commit_version(rig, *o, d, 10, s, 42);
+
+  Locator* l = o->loc.load(std::memory_order_acquire);
+  EXPECT_EQ(l->writer, nullptr);       // settled
+  EXPECT_EQ(l->committed, v1);         // tentative became current
+  EXPECT_EQ(runtime::payload_as<long>(*l->committed->data), 42);
+  EXPECT_EQ(chain_length(*o), 2);      // v1 -> initial
+}
+
+TEST(ObjectStore, SettleAbortedWriterKeepsCommittedAndRetiresTentative) {
+  Rig rig(fixed_policy(8));
+  auto reg = rig.registry.attach();
+  const int s = reg.slot();
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(5));
+  Locator* initial = o->loc.load(std::memory_order_acquire);
+  Version* base = initial->committed;
+
+  TestDesc d(1, s, runtime::TxClass::kShort);
+  auto* tent = new Version(new runtime::TypedPayload<long>(6));
+  tent->prev.store(base, std::memory_order_relaxed);
+  ASSERT_TRUE(rig.store.install(*o, initial, &d, tent, s));
+  d.finish_abort();
+
+  const std::uint64_t retired_before = rig.epochs.retired_count();
+  rig.store.settle(*o, o->loc.load(std::memory_order_acquire), s);
+  Locator* l = o->loc.load(std::memory_order_acquire);
+  EXPECT_EQ(l->writer, nullptr);
+  EXPECT_EQ(l->committed, base);  // the tentative version never published
+  // Both the tentative version and the superseded locator were retired.
+  EXPECT_GE(rig.epochs.retired_count(), retired_before + 2);
+}
+
+TEST(ObjectStore, InstallFailsOnStaleLocatorWithoutConsuming) {
+  Rig rig(fixed_policy(8));
+  auto reg = rig.registry.attach();
+  const int s = reg.slot();
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(0));
+  Locator* stale = o->loc.load(std::memory_order_acquire);
+
+  TestDesc d1(1, s, runtime::TxClass::kShort);
+  commit_version(rig, *o, d1, 5, s, 1);  // moves the locator on
+
+  TestDesc d2(2, s, runtime::TxClass::kShort);
+  auto* tent = new Version(new runtime::TypedPayload<long>(2));
+  EXPECT_FALSE(rig.store.install(*o, stale, &d2, tent, s));
+  delete tent;  // caller still owns it on failure
+}
+
+TEST(ObjectStore, ResolveSkipsOwnLocatorToPreWriteVersion) {
+  Rig rig(fixed_policy(8));
+  auto reg = rig.registry.attach();
+  const int s = reg.slot();
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(3));
+  Locator* l = o->loc.load(std::memory_order_acquire);
+  Version* base = l->committed;
+
+  TestDesc d(1, s, runtime::TxClass::kShort);
+  auto* tent = new Version(new runtime::TypedPayload<long>(4));
+  tent->prev.store(base, std::memory_order_relaxed);
+  ASSERT_TRUE(rig.store.install(*o, l, &d, tent, s));
+
+  // The owner resolves to its pre-write base; a stranger sees the same
+  // because the writer is still active (invisible tentative state).
+  EXPECT_EQ(rig.store.resolve(*o, &d, OnCommitting::kWait, s), base);
+  EXPECT_EQ(rig.store.resolve(*o, nullptr, OnCommitting::kWait, s), base);
+
+  d.finish_abort();
+  rig.store.settle(*o, o->loc.load(std::memory_order_acquire), s);
+}
+
+TEST(ObjectStore, SuccessorOfWalksChain) {
+  Rig rig(fixed_policy(8));
+  auto reg = rig.registry.attach();
+  const int s = reg.slot();
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(0));
+  Version* v0 = o->loc.load(std::memory_order_acquire)->committed;
+
+  TestDesc d1(1, s, runtime::TxClass::kShort);
+  Version* v1 = commit_version(rig, *o, d1, 10, s, 1);
+  TestDesc d2(2, s, runtime::TxClass::kShort);
+  Version* v2 = commit_version(rig, *o, d2, 20, s, 2);
+  TestDesc d3(3, s, runtime::TxClass::kShort);
+  Version* v3 = commit_version(rig, *o, d3, 30, s, 3);
+
+  EXPECT_EQ(Store::successor_of(v3, v2), v3);
+  EXPECT_EQ(Store::successor_of(v3, v1), v2);
+  EXPECT_EQ(Store::successor_of(v3, v0), v1);
+  // A version not on the chain (pruned) yields nullptr.
+  Version detached(new runtime::TypedPayload<long>(99));
+  EXPECT_EQ(Store::successor_of(v3, &detached), nullptr);
+}
+
+TEST(ObjectStore, PruneBoundsChainAtFixedDepth) {
+  Rig rig(fixed_policy(3));
+  auto reg = rig.registry.attach();
+  const int s = reg.slot();
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(0));
+
+  std::vector<TestDesc*> descs;
+  for (int i = 1; i <= 10; ++i) {
+    auto* d = new TestDesc(static_cast<std::uint64_t>(i), s,
+                           runtime::TxClass::kShort);
+    descs.push_back(d);
+    commit_version(rig, *o, *d, static_cast<std::uint64_t>(10 * i), s, i);
+    EXPECT_LE(chain_length(*o), 3);
+  }
+  for (auto* d : descs) delete d;
+}
+
+TEST(ObjectStore, PrunedSuffixSurvivesWhileReaderIsPinned) {
+  Rig rig(fixed_policy(1));  // aggressive pruning: single-version
+  auto reader_reg = rig.registry.attach();
+  auto writer_reg = rig.registry.attach();
+  const int ws = writer_reg.slot();
+
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(123));
+  Version* old_version = o->loc.load(std::memory_order_acquire)->committed;
+
+  // A reader pins (as every transaction attempt does) and holds a pointer
+  // to the current version.
+  auto guard = rig.epochs.pin_guard(reader_reg.slot());
+
+  // A writer commits over it; prune severs the old version off the chain.
+  TestDesc d(1, ws, runtime::TxClass::kShort);
+  commit_version(rig, *o, d, 10, ws, 124);
+  EXPECT_EQ(chain_length(*o), 1);
+
+  // The severed version was retired but must not be freed while the reader
+  // is pinned: its payload stays dereferenceable.
+  for (int i = 0; i < 10; ++i) rig.epochs.collect(ws);
+  EXPECT_EQ(runtime::payload_as<long>(*old_version->data), 123);
+  EXPECT_LT(rig.epochs.freed_count(), rig.epochs.retired_count());
+
+  // After the reader unpins, collection may reclaim everything retired.
+  guard = util::EpochManager::Guard();
+  for (int i = 0; i < 10; ++i) rig.epochs.collect(ws);
+  EXPECT_EQ(rig.epochs.freed_count(), rig.epochs.retired_count());
+}
+
+TEST(ObjectStore, AdaptiveBoundDoublesOnTooOldAborts) {
+  RetentionPolicy p{RetentionMode::kAdaptive, /*initial=*/1, /*min=*/1,
+                    /*max=*/8, /*decay_period=*/1000};
+  Rig rig(p);
+  auto reg = rig.registry.attach();
+  const int s = reg.slot();
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(0));
+
+  EXPECT_EQ(rig.store.kept_bound(*o), 1u);
+  rig.store.note_too_old(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 2u);
+  rig.store.note_too_old(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 4u);
+  rig.store.note_too_old(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 8u);
+  rig.store.note_too_old(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 8u);  // capped at max_kept
+  EXPECT_EQ(rig.stats.snapshot()[util::Counter::kRetentionGrows], 3u);
+}
+
+TEST(ObjectStore, AdaptiveBoundDecaysAfterQuiescentPrunes) {
+  RetentionPolicy p{RetentionMode::kAdaptive, /*initial=*/1, /*min=*/1,
+                    /*max=*/8, /*decay_period=*/3};
+  Rig rig(p);
+  auto reg = rig.registry.attach();
+  const int s = reg.slot();
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(0));
+
+  rig.store.note_too_old(*o, s);
+  rig.store.note_too_old(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 4u);
+
+  // Each prune (triggered by every settle of a committed writer) counts
+  // toward the quiescence streak; after decay_period of them the bound
+  // shrinks by one.
+  for (int i = 0; i < 3; ++i) rig.store.prune(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 3u);
+  for (int i = 0; i < 3; ++i) rig.store.prune(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 2u);
+
+  // A too-old abort resets the streak: two prunes, abort, two prunes — no
+  // decay, and the abort doubled the bound again.
+  for (int i = 0; i < 2; ++i) rig.store.prune(*o, s);
+  rig.store.note_too_old(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 4u);
+  for (int i = 0; i < 2; ++i) rig.store.prune(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 4u);
+
+  EXPECT_EQ(rig.stats.snapshot()[util::Counter::kRetentionDecays], 2u);
+}
+
+TEST(ObjectStore, AdaptiveBoundNeverDecaysBelowFloor) {
+  RetentionPolicy p{RetentionMode::kAdaptive, /*initial=*/2, /*min=*/2,
+                    /*max=*/8, /*decay_period=*/1};
+  Rig rig(p);
+  auto reg = rig.registry.attach();
+  const int s = reg.slot();
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(0));
+  for (int i = 0; i < 10; ++i) rig.store.prune(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 2u);
+}
+
+TEST(ObjectStore, FixedModeIgnoresTooOldFeedback) {
+  Rig rig(fixed_policy(4));
+  auto reg = rig.registry.attach();
+  const int s = reg.slot();
+  Object* o = rig.store.allocate(new runtime::TypedPayload<long>(0));
+  rig.store.note_too_old(*o, s);
+  rig.store.note_too_old(*o, s);
+  EXPECT_EQ(rig.store.kept_bound(*o), 4u);
+  EXPECT_EQ(rig.stats.snapshot()[util::Counter::kRetentionGrows], 0u);
+}
+
+}  // namespace
+}  // namespace zstm::object

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/stm.hpp"
+#include "stress_env.hpp"
 #include "util/rng.hpp"
 
 namespace zstm {
@@ -119,7 +120,7 @@ TYPED_TEST(BackendProperty, NoLostIncrements) {
   TypeParam backend;
   auto counter = backend.template make_var<long>(0);
   constexpr int kThreads = 4;
-  constexpr int kIncrements = 1000;
+  const int kIncrements = test_env::stress_rounds(1000);
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&] {
@@ -151,7 +152,7 @@ TYPED_TEST(BackendProperty, MoneyConservation) {
     workers.emplace_back([&, t] {
       auto th = backend.attach();
       util::Xorshift rng(static_cast<std::uint64_t>(t) + 7);
-      for (int i = 0; i < 800; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(800); i < n; ++i) {
         const auto from = rng.next_below(kAccounts);
         auto to = rng.next_below(kAccounts);
         if (to == from) to = (to + 1) % kAccounts;
@@ -187,7 +188,7 @@ TYPED_TEST(BackendProperty, PairedWritesAreAtomic) {
     workers.emplace_back([&, t] {
       auto th = backend.attach();
       util::Xorshift rng(static_cast<std::uint64_t>(t) + 19);
-      for (int i = 0; i < 1500; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(1500); i < n; ++i) {
         backend.run(*th, [&](auto& tx) {
           const long v = static_cast<long>(rng.next_below(1000));
           tx.write(a, v);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "history/checkers.hpp"
+#include "stress_env.hpp"
 #include "util/rng.hpp"
 #include "zstm/zstm.hpp"
 
@@ -51,7 +52,7 @@ TEST_P(ZStress, BankWithLongComputeTotal) {
       util::Xorshift rng(static_cast<std::uint64_t>(t) * 7919 + 3);
       // Thread 0 mixes transfers (80%) and Compute-Total (20%), as in the
       // paper's §5.5 setup; other threads only transfer.
-      for (int i = 0; i < 1200; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(1200); i < n; ++i) {
         if (t == 0 && rng.chance(0.2)) {
           long observed = 0;
           rt.run_long(*th, [&](LongTx& tx) {
@@ -117,7 +118,7 @@ TEST(ZStressHistory, RecordedHistoryIsZLinearizable) {
     workers.emplace_back([&, t] {
       auto th = rt.attach();
       util::Xorshift rng(static_cast<std::uint64_t>(t) + 101);
-      for (int i = 0; i < 400; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(400); i < n; ++i) {
         if (t == 0 && rng.chance(0.15)) {
           rt.run_long(*th, [&](LongTx& tx) {
             long total = 0;
@@ -163,7 +164,7 @@ TEST(ZStressHistory, ShortOnlyWorkloadIsStrictlySerializable) {
     workers.emplace_back([&, t] {
       auto th = rt.attach();
       util::Xorshift rng(static_cast<std::uint64_t>(t) + 201);
-      for (int i = 0; i < 500; ++i) {
+      for (int i = 0, n = test_env::stress_rounds(500); i < n; ++i) {
         rt.run_short(*th, [&](ShortTx& tx) {
           if (rng.chance(0.5)) {
             tx.write(x) += 1;
