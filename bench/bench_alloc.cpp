@@ -1,0 +1,162 @@
+// Allocation-path microbench (DESIGN.md §7): the cost of open-for-write
+// node management, pooled (NodePool slab free lists + inline payloads)
+// versus global-heap mode (Config::use_node_pool = false — the same path
+// ZSTM_POOL=0 forces).
+//
+// Workload: the paper's bank transfer storm (two writes per transaction)
+// on LSA-STM. Each trial warms up, resets the counters, then measures a
+// steady-state window, reporting
+//
+//   ns/write          — wall thread-time per committed write
+//   allocs/write      — global heap allocations per write (pool misses;
+//                       in heap mode every node allocation is a miss)
+//   hit rate          — pool allocations served without touching the heap
+//   returns           — cross-thread releases routed via the MPSC stacks
+//
+// Steady-state expectation: allocs/write < 1 and hit rate > 90% in pooled
+// mode (every node a transaction needs comes back out of a free list), and
+// ns/write below the heap-mode baseline.
+//
+// `--json` additionally writes BENCH_alloc.json (see bench_json.hpp);
+// scripts/bench_compare.py diffs it against bench/baselines/.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "lsa/lsa.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr int kAccounts = 1000;
+constexpr auto kWarmup = std::chrono::milliseconds(100);
+constexpr auto kMeasure = std::chrono::milliseconds(300);
+
+struct Row {
+  const char* mode;
+  int threads;
+  double tx_per_s = 0;
+  double ns_per_write = 0;
+  double allocs_per_write = 0;
+  double hit_rate = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t pool_returns = 0;
+};
+
+Row trial(bool pooled, int threads) {
+  zstm::lsa::Config cfg;
+  cfg.max_threads = threads + 2;
+  cfg.use_node_pool = pooled;
+  zstm::lsa::Runtime rt(cfg);
+  std::vector<zstm::lsa::Var<long>> accounts;
+  for (int i = 0; i < kAccounts; ++i) accounts.push_back(rt.make_var<long>(1000));
+
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto th = rt.attach();
+      zstm::util::Xorshift rng(static_cast<std::uint64_t>(t) * 977 + 11);
+      std::uint64_t my = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::size_t a = rng.next_below(kAccounts);
+        std::size_t b = rng.next_below(kAccounts);
+        if (b == a) b = (b + 1) % kAccounts;
+        rt.run(*th, [&](zstm::lsa::Tx& tx) {
+          tx.write(accounts[a]) -= 1;
+          tx.write(accounts[b]) += 1;
+        });
+        if (measuring.load(std::memory_order_relaxed)) ++my;
+      }
+      commits.fetch_add(my);
+    });
+  }
+
+  // Warm the pools (slabs carved, free lists stocked), then measure a
+  // steady-state window with fresh counters.
+  std::this_thread::sleep_for(kWarmup);
+  rt.reset_stats();
+  measuring.store(true, std::memory_order_release);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(kMeasure);
+  stop.store(true, std::memory_order_release);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (auto& w : workers) w.join();
+
+  const auto stats = rt.stats();
+  const std::uint64_t writes = stats[zstm::util::Counter::kWrites];
+  const std::uint64_t hits = stats[zstm::util::Counter::kPoolHits];
+  const std::uint64_t misses = stats[zstm::util::Counter::kPoolMisses];
+
+  Row r;
+  r.mode = pooled ? "pooled" : "heap";
+  r.threads = threads;
+  r.writes = writes;
+  r.tx_per_s = static_cast<double>(commits.load()) / secs;
+  if (writes > 0) {
+    r.ns_per_write = threads * secs * 1e9 / static_cast<double>(writes);
+    r.allocs_per_write =
+        static_cast<double>(misses) / static_cast<double>(writes);
+  }
+  if (hits + misses > 0) {
+    r.hit_rate =
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+  r.pool_returns = stats[zstm::util::Counter::kPoolReturns];
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = zstm::benchjson::json_requested(argc, argv);
+  std::printf("Allocation-path microbench: bank transfer storm on LSA-STM,\n"
+              "%d accounts, NodePool slabs vs global heap (DESIGN.md §7)\n\n",
+              kAccounts);
+  if (!zstm::object::NodePool::env_enabled()) {
+    std::printf("note: ZSTM_POOL=0 is set — the \"pooled\" rows run on the "
+                "heap too.\n\n");
+  }
+  std::printf("%8s %8s %12s %12s %14s %10s %10s\n", "mode", "threads", "tx/s",
+              "ns/write", "allocs/write", "hit rate", "returns");
+
+  std::vector<Row> rows;
+  for (int threads : {1, 2, 4}) {
+    rows.push_back(trial(/*pooled=*/false, threads));
+    rows.push_back(trial(/*pooled=*/true, threads));
+  }
+  for (const Row& r : rows) {
+    std::printf("%8s %8d %12.0f %12.1f %14.3f %9.1f%% %10llu\n", r.mode,
+                r.threads, r.tx_per_s, r.ns_per_write, r.allocs_per_write,
+                100.0 * r.hit_rate,
+                static_cast<unsigned long long>(r.pool_returns));
+  }
+  std::printf("\nExpected: pooled rows show allocs/write < 1 (hit rate > 90%%\n"
+              "after warmup — nodes cycle retire -> grace period -> free list)\n"
+              "and lower ns/write than the heap rows, which pay one malloc and\n"
+              "one cross-thread free per locator/version/descriptor.\n");
+
+  if (json) {
+    zstm::benchjson::Doc doc("alloc");
+    for (const Row& r : rows) {
+      doc.row()
+          .str("mode", r.mode)
+          .num("threads", r.threads)
+          .num("tx_per_s", r.tx_per_s)
+          .num("ns_per_write", r.ns_per_write)
+          .num("allocs_per_write", r.allocs_per_write)
+          .num("pool_hit_rate", r.hit_rate)
+          .num("writes", r.writes)
+          .num("pool_returns", r.pool_returns);
+    }
+    if (!doc.write()) return 1;
+  }
+  return 0;
+}

@@ -6,12 +6,14 @@
 // every STM in the library; throughput differences isolate the cost of the
 // time base and of the serializability machinery (visible reads, commit
 // serialization).
+// `--json` additionally writes BENCH_cs_overhead.json (see bench_json.hpp).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "cs/cs.hpp"
 #include "lsa/lsa.hpp"
 #include "sstm/sstm.hpp"
@@ -135,18 +137,41 @@ double sstm_trial(int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = zstm::benchjson::json_requested(argc, argv);
   std::printf("Vector-time / serializability overhead ablation (§4.4)\n");
   std::printf("Transfer workload over %d objects  [tx/s]\n\n", kObjects);
   std::printf("%8s %12s %12s %12s %12s %12s\n", "threads", "LSA", "Z-STM",
               "CS(VC)", "CS(REV r=2)", "S-STM");
+  struct Row {
+    int threads;
+    double lsa, z, cs_vc, cs_rev2, sstm;
+  };
+  std::vector<Row> rows;
   for (int threads : {1, 2, 4}) {
-    std::printf("%8d %12.0f %12.0f %12.0f %12.0f %12.0f\n", threads,
-                lsa_trial(threads), z_trial(threads), cs_vc_trial(threads),
-                cs_rev_trial(threads, 2), sstm_trial(threads));
+    rows.push_back(Row{threads, lsa_trial(threads), z_trial(threads),
+                       cs_vc_trial(threads), cs_rev_trial(threads, 2),
+                       sstm_trial(threads)});
+    const Row& r = rows.back();
+    std::printf("%8d %12.0f %12.0f %12.0f %12.0f %12.0f\n", r.threads, r.lsa,
+                r.z, r.cs_vc, r.cs_rev2, r.sstm);
   }
   std::printf("\nExpected shape: LSA ≈ Z-STM (scalar time base) above CS\n"
               "(vector timestamps on every version) above S-STM (visible\n"
               "reads + serialized commit validation).\n");
+
+  if (json) {
+    zstm::benchjson::Doc doc("cs_overhead");
+    for (const Row& r : rows) {
+      doc.row()
+          .num("threads", r.threads)
+          .num("lsa_tx_per_s", r.lsa)
+          .num("zstm_tx_per_s", r.z)
+          .num("cs_vc_tx_per_s", r.cs_vc)
+          .num("cs_rev2_tx_per_s", r.cs_rev2)
+          .num("sstm_tx_per_s", r.sstm);
+    }
+    if (!doc.write()) return 1;
+  }
   return 0;
 }

@@ -11,9 +11,11 @@
 // because "the latter always maintains read sets"; LSA-STM without read
 // sets matches Z-STM. Absolute numbers depend on the host (the paper used
 // an 8-core UltraSPARC T1); see EXPERIMENTS.md.
+// `--json` additionally writes BENCH_fig6.json (see bench_json.hpp).
 #include <cstdio>
 
 #include "bank_harness.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -53,7 +55,8 @@ Row run_row(int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = zstm::benchjson::json_requested(argc, argv);
   std::printf("Figure 6 — Bank benchmark, read-only Compute-Total\n");
   std::printf("(1000 accounts; thread 0: 80%% transfers / 20%% Compute-Total; "
               "others: transfers)\n\n");
@@ -87,6 +90,25 @@ int main() {
                 static_cast<unsigned long long>(
                     r.lsa_nrs.compute_total_failures),
                 static_cast<unsigned long long>(r.z.compute_total_failures));
+  }
+
+  if (json) {
+    zstm::benchjson::Doc doc("fig6");
+    const auto emit = [&doc](const char* system, int threads,
+                             const BankResult& b) {
+      doc.row()
+          .str("system", system)
+          .num("threads", threads)
+          .num("compute_total_per_s", b.compute_total_per_s)
+          .num("transfer_per_s", b.transfer_per_s)
+          .num("compute_total_failures", b.compute_total_failures);
+    };
+    for (const auto& r : rows) {
+      emit("lsa", r.threads, r.lsa);
+      emit("lsa_no_readsets", r.threads, r.lsa_nrs);
+      emit("zstm", r.threads, r.z);
+    }
+    if (!doc.write()) return 1;
   }
   return 0;
 }

@@ -9,9 +9,11 @@
 //   Right panel: Transfer throughput — "the transfer throughput does not
 //                decrease as compared to LSA-STM."
 //   Systems:     LSA-STM, Z-STM; threads 1, 2, 8, 16, 32.
+// `--json` additionally writes BENCH_fig7.json (see bench_json.hpp).
 #include <cstdio>
 
 #include "bank_harness.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -46,7 +48,8 @@ Row run_row(int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = zstm::benchjson::json_requested(argc, argv);
   std::printf("Figure 7 — Bank benchmark, update Compute-Total\n");
   std::printf("(Compute-Total additionally writes a private transactional "
               "sink object)\n\n");
@@ -68,6 +71,24 @@ int main() {
   for (const auto& r : rows) {
     std::printf("%8d %14.0f %14.0f\n", r.threads, r.lsa.transfer_per_s,
                 r.z.transfer_per_s);
+  }
+
+  if (json) {
+    zstm::benchjson::Doc doc("fig7");
+    const auto emit = [&doc](const char* system, int threads,
+                             const BankResult& b) {
+      doc.row()
+          .str("system", system)
+          .num("threads", threads)
+          .num("compute_total_per_s", b.compute_total_per_s)
+          .num("transfer_per_s", b.transfer_per_s)
+          .num("compute_total_failures", b.compute_total_failures);
+    };
+    for (const auto& r : rows) {
+      emit("lsa", r.threads, r.lsa);
+      emit("zstm", r.threads, r.z);
+    }
+    if (!doc.write()) return 1;
   }
   return 0;
 }

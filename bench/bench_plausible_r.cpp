@@ -13,12 +13,14 @@
 // The accuracy loss is therefore best read from measurement 1; the paper's
 // "unnecessary aborts" materialize for workloads whose readers absorb many
 // third-party stamps (the r=2..8 band below).
+// `--json` additionally writes BENCH_plausible_r.json (see bench_json.hpp).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "cs/cs.hpp"
 #include "timebase/vector_clock.hpp"
 #include "util/rng.hpp"
@@ -131,13 +133,16 @@ StmRow stm_for(int r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = zstm::benchjson::json_requested(argc, argv);
   std::printf("Plausible clocks: accuracy vs size (§4.3)\n\n");
   std::printf("1) Clock-level accuracy (exact-VC oracle, fixed history):\n");
   std::printf("%6s %18s %18s %10s\n", "r", "concurrent pairs",
               "falsely ordered", "rate");
+  std::vector<AccuracyRow> acc_rows;
   for (int r : {1, 2, 4, 8}) {
-    const auto row = accuracy_for(r);
+    acc_rows.push_back(accuracy_for(r));
+    const auto& row = acc_rows.back();
     std::printf("%6d %18llu %18llu %9.1f%%\n", row.r,
                 static_cast<unsigned long long>(row.concurrent_pairs),
                 static_cast<unsigned long long>(row.false_orderings),
@@ -148,10 +153,31 @@ int main() {
   std::printf("\n2) CS-STM with REV(r): scan-then-write workload, %d threads:\n",
               kThreads);
   std::printf("%6s %14s %20s\n", "r", "tx/s", "validation aborts");
+  std::vector<StmRow> stm_rows;
   for (int r : {1, 2, 4, 6}) {
-    const auto row = stm_for(r);
+    stm_rows.push_back(stm_for(r));
+    const auto& row = stm_rows.back();
     std::printf("%6d %14.0f %20llu\n", row.r, row.tx_per_s,
                 static_cast<unsigned long long>(row.validation_aborts));
+  }
+
+  if (json) {
+    zstm::benchjson::Doc doc("plausible_r");
+    for (const auto& row : acc_rows) {
+      doc.row()
+          .str("measurement", "clock_accuracy")
+          .num("r", row.r)
+          .num("concurrent_pairs", row.concurrent_pairs)
+          .num("false_orderings", row.false_orderings);
+    }
+    for (const auto& row : stm_rows) {
+      doc.row()
+          .str("measurement", "stm_throughput")
+          .num("r", row.r)
+          .num("tx_per_s", row.tx_per_s)
+          .num("validation_aborts", row.validation_aborts);
+    }
+    if (!doc.write()) return 1;
   }
   return 0;
 }

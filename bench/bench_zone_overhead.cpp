@@ -3,12 +3,14 @@
 //
 // Transfer-only workload (no long transactions ever started), LSA-STM vs
 // Z-STM short transactions: the difference is exactly Z-STM's zone checks.
+// `--json` additionally writes BENCH_zone_overhead.json (see bench_json.hpp).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "lsa/lsa.hpp"
 #include "util/rng.hpp"
 #include "zstm/zstm.hpp"
@@ -50,11 +52,17 @@ double trial(int threads, MakeCtx&& make_ctx, Transfer&& transfer) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = zstm::benchjson::json_requested(argc, argv);
   std::printf("Zone-counter overhead (Figure 6 claim): transfer-only "
               "workload, no long transactions\n\n");
   std::printf("%8s %14s %14s %12s\n", "threads", "LSA [tx/s]", "Z-STM [tx/s]",
               "Z/LSA");
+  struct Row {
+    int threads;
+    double lsa, z;
+  };
+  std::vector<Row> rows;
   for (int threads : {1, 2, 4, 8}) {
     double lsa_rate;
     {
@@ -88,10 +96,23 @@ int main() {
             });
           });
     }
+    rows.push_back(Row{threads, lsa_rate, z_rate});
     std::printf("%8d %14.0f %14.0f %11.2f%%\n", threads, lsa_rate, z_rate,
                 100.0 * z_rate / lsa_rate);
   }
   std::printf("\nExpected: Z/LSA close to 100%% — zone checks are two loads\n"
               "and a branch per open when no long transaction is active.\n");
+
+  if (json) {
+    zstm::benchjson::Doc doc("zone_overhead");
+    for (const Row& r : rows) {
+      doc.row()
+          .num("threads", r.threads)
+          .num("lsa_tx_per_s", r.lsa)
+          .num("zstm_tx_per_s", r.z)
+          .num("z_over_lsa", r.lsa > 0 ? r.z / r.lsa : 0.0);
+    }
+    if (!doc.write()) return 1;
+  }
   return 0;
 }

@@ -63,6 +63,8 @@ struct Config {
   int retention_max = 64;
   int retention_decay_period = 64;
   cm::Policy cm_policy = cm::Policy::kPolite;
+  /// Slab-pool node allocation (DESIGN.md §7); ZSTM_POOL=0 overrides.
+  bool use_node_pool = true;
   bool record_history = false;
 };
 
@@ -198,11 +200,12 @@ class RuntimeT {
       : cfg_(cfg),
         domain_(std::move(domain)),
         registry_(cfg.max_threads),
-        epochs_(registry_),
         stats_(registry_),
+        pool_(registry_, &stats_, cfg.use_node_pool),
+        epochs_(registry_),
         recorder_(cfg.record_history, cfg.max_threads),
         cm_(cm::make_manager(cfg.cm_policy)),
-        store_(epochs_, stats_, object::retention_policy(cfg)) {}
+        store_(pool_, epochs_, stats_, object::retention_policy(cfg)) {}
 
   RuntimeT(const RuntimeT&) = delete;
   RuntimeT& operator=(const RuntimeT&) = delete;
@@ -293,8 +296,10 @@ class RuntimeT {
   Config cfg_;
   ClockDomain domain_;
   util::ThreadRegistry registry_;
-  util::EpochManager epochs_;
   util::StatsDomain stats_;
+  // Before the EpochManager: its drain returns nodes to the pool.
+  object::NodePool pool_;
+  util::EpochManager epochs_;
   history::Recorder recorder_;
   std::unique_ptr<cm::ContentionManager> cm_;
   util::PaddedCounter tx_ids_;
@@ -313,7 +318,7 @@ typename RuntimeT<D>::Tx& RuntimeT<D>::ThreadCtx::begin() {
       rt_.tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
   // T.ct starts from VCp, the last committed timestamp of this thread
   // (Algorithm 1 line 3).
-  tx_.desc_ = new TxDesc(id, slot(), vcp_);
+  tx_.desc_ = rt_.pool_.template create<TxDesc>(slot(), id, slot(), vcp_);
   tx_.desc_->set_start_ticks(
       rt_.ticks_.value.fetch_add(1, std::memory_order_relaxed));
   epoch_guard_ = rt_.epochs_.pin_guard(slot());
@@ -344,7 +349,12 @@ void RuntimeT<D>::ThreadCtx::finish_attempt(bool committed) {
     if (committed) tx_.rec_.stamp = RuntimeT::stamp_to_vector(tx_.desc_->ct);
     rt_.recorder_.record(slot(), std::move(tx_.rec_));
   }
-  rt_.epochs_.retire(slot(), tx_.desc_);
+  if (rt_.pool_.enabled()) {
+    rt_.epochs_.retire_raw(slot(), tx_.desc_,
+                           &object::NodePool::template ebr_destroy<TxDesc>);
+  } else {
+    rt_.epochs_.retire(slot(), tx_.desc_);
+  }
   tx_.desc_ = nullptr;
   epoch_guard_ = util::EpochManager::Guard();
 }
@@ -464,7 +474,7 @@ runtime::Payload& RuntimeT<D>::Tx::write_object(Object& o) {
     }
     Version* base = l->committed;
     desc_->ct.merge(base->ct);  // line 8 applies to writes as well
-    auto* tent = new Version(base->data->clone(), rt.domain_.zero());
+    Version* tent = rt.store_.clone_version(s, *base->data, rt.domain_.zero());
     tent->prev.store(base, std::memory_order_relaxed);
     if (rt.recorder_.enabled()) tent->vid = rt.recorder_.new_version_id();
     if (rt.store_.install(o, l, desc_, tent, s)) {
@@ -473,7 +483,7 @@ runtime::Payload& RuntimeT<D>::Tx::write_object(Object& o) {
       rt.stats_.add(s, util::Counter::kWrites);
       return *tent->data;
     }
-    delete tent;
+    rt.store_.discard_version(s, tent);
   }
 }
 

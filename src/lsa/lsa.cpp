@@ -21,12 +21,13 @@ timebase::ScalarTimeBase make_time_base(const Config& cfg) {
 Runtime::Runtime(Config cfg)
     : cfg_(cfg),
       registry_(cfg.max_threads),
-      epochs_(registry_),
       stats_(registry_),
+      pool_(registry_, &stats_, cfg.use_node_pool),
+      epochs_(registry_),
       recorder_(cfg.record_history, cfg.max_threads),
       timebase_(make_time_base(cfg)),
       cm_(cm::make_manager(cfg.cm_policy)),
-      store_(epochs_, stats_, object::retention_policy(cfg)) {}
+      store_(pool_, epochs_, stats_, object::retention_policy(cfg)) {}
 
 // All worker threads must be detached by now; the store tears down the live
 // objects single-threaded, and the EpochManager's destructor (drain_all)
@@ -52,7 +53,8 @@ Tx& ThreadCtx::begin(bool read_only) {
   if (in_transaction()) abort_attempt();  // defensive: drop a leaked attempt
   Tx& tx = tx_;
   next_tx_id_ = rt_.next_tx_id();
-  tx.desc_ = new TxDesc(next_tx_id_, slot(), runtime::TxClass::kShort);
+  tx.desc_ = rt_.pool_.create<TxDesc>(slot(), next_tx_id_, slot(),
+                                      runtime::TxClass::kShort);
   tx.desc_->set_start_ticks(rt_.next_tick());
   epoch_guard_ = rt_.epochs_.pin_guard(slot());
   tx.lb_ = 0;
@@ -92,8 +94,8 @@ void ThreadCtx::finish_attempt(bool committed) {
   }
   // Nothing references the descriptor through a live locator any more
   // (committed/aborted locators were settled above); stale readers may
-  // still hold the pointer, so retire through EBR rather than delete.
-  rt_.epochs_.retire(slot(), tx_.desc_);
+  // still hold the pointer, so retire through EBR rather than free.
+  rt_.retire_desc(slot(), tx_.desc_);
   tx_.desc_ = nullptr;
   epoch_guard_ = util::EpochManager::Guard();
 }
@@ -286,7 +288,7 @@ runtime::Payload& Tx::write_object(Object& o) {
       if (!(track_reads_ && try_extend())) fail(util::Counter::kValidationFails);
       continue;  // re-resolve after extension
     }
-    auto* tent = new Version(base->data->clone());
+    Version* tent = rt.store_.clone_version(s, *base->data);
     tent->prev.store(base, std::memory_order_relaxed);
     if (rt.recorder_.enabled()) tent->vid = rt.recorder_.new_version_id();
     // seq_cst: Z-STM's zone protocol requires this install to be globally
@@ -299,7 +301,7 @@ runtime::Payload& Tx::write_object(Object& o) {
       rt.stats_.add(s, util::Counter::kWrites);
       return *tent->data;
     }
-    delete tent;
+    rt.store_.discard_version(s, tent);
   }
 }
 

@@ -74,6 +74,9 @@ struct Config {
   /// false ⇒ the Figure 6 "LSA-STM (no readsets)" variant for transactions
   /// declared read-only.
   bool track_readonly_readsets = true;
+  /// Slab-pool node allocation (DESIGN.md §7). The ZSTM_POOL=0 environment
+  /// escape hatch overrides this to false (debugging/ASan).
+  bool use_node_pool = true;
   bool record_history = false;
   std::uint64_t seed = 1;
 };
@@ -317,6 +320,16 @@ class Runtime {
   util::ThreadRegistry& registry() { return registry_; }
   util::EpochManager& epochs() { return epochs_; }
   util::StatsDomain& stats_domain() { return stats_; }
+  object::NodePool& node_pool() { return pool_; }
+  /// Retire a transaction descriptor through EBR, returning it to the pool
+  /// once the grace period passes (shared with Z-STM's long transactions).
+  void retire_desc(int slot, TxDesc* d) {
+    if (pool_.enabled()) {
+      epochs_.retire_raw(slot, d, &object::NodePool::ebr_destroy<TxDesc>);
+    } else {
+      epochs_.retire(slot, d);
+    }
+  }
   history::Recorder& recorder() { return recorder_; }
   timebase::ScalarTimeBase& time_base() { return timebase_; }
   cm::ContentionManager& contention_manager() { return *cm_; }
@@ -335,8 +348,11 @@ class Runtime {
 
   Config cfg_;
   util::ThreadRegistry registry_;
-  util::EpochManager epochs_;
   util::StatsDomain stats_;
+  // Declared before the EpochManager: EBR's destructor drains deleters
+  // that return nodes to the pool, so the pool must be destroyed after it.
+  object::NodePool pool_;
+  util::EpochManager epochs_;
   history::Recorder recorder_;
   timebase::ScalarTimeBase timebase_;
   std::unique_ptr<cm::ContentionManager> cm_;

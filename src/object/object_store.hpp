@@ -27,6 +27,14 @@
 // substitutions table: EBR stands in for the paper's JVM garbage
 // collector).
 //
+// Memory (DESIGN.md §7): every Version and Locator is carved from the
+// NodePool passed at construction, and retirement returns nodes to the
+// pool's per-slot free lists instead of the global heap. Speculative
+// locators (settle/install CAS candidates) additionally bounce through a
+// per-slot spare cache so a failed CAS costs a field rewrite, not a
+// delete+new. With the pool disabled (ZSTM_POOL=0) everything degrades to
+// plain new/delete.
+//
 // Version retention (paper §4.4) is a per-store policy. kFixed keeps the
 // classic global bound (Config::versions_kept). kAdaptive replaces it with
 // a *per-object* bound that doubles when a transaction aborts because the
@@ -42,7 +50,9 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <vector>
 
+#include "object/node_pool.hpp"
 #include "object/versioned.hpp"
 #include "runtime/payload.hpp"
 #include "runtime/txdesc.hpp"
@@ -101,9 +111,13 @@ class ObjectStore {
   template <typename T>
   using Var = object::Var<T, Object>;
 
-  ObjectStore(util::EpochManager& epochs, util::StatsDomain& stats,
-              RetentionPolicy retention)
-      : epochs_(epochs), stats_(stats), retention_(retention) {
+  ObjectStore(NodePool& pool, util::EpochManager& epochs,
+              util::StatsDomain& stats, RetentionPolicy retention)
+      : pool_(pool),
+        epochs_(epochs),
+        stats_(stats),
+        retention_(retention),
+        spare_(static_cast<std::size_t>(pool.capacity())) {
     // Normalize so the unsigned bound arithmetic below stays sane: at least
     // one version is always kept (matching the old per-runtime prune loops,
     // which degraded to single-version for versions_kept <= 0).
@@ -122,8 +136,13 @@ class ObjectStore {
 
   /// Single-threaded teardown: all worker threads must be detached. Retired
   /// locators/versions are freed by the EpochManager's destructor
-  /// (drain_all) — disjoint from the live structures destroyed here.
+  /// (drain_all) — disjoint from the live structures destroyed here. The
+  /// NodePool outlives both (declared before the EpochManager in every
+  /// runtime), so returning nodes here is safe.
   ~ObjectStore() {
+    for (auto& padded : spare_) {
+      if (padded.value != nullptr) pool_.destroy(-1, padded.value);
+    }
     for (auto& obj : objects_) {
       Locator* l = obj->loc.load(std::memory_order_relaxed);
       if (l == nullptr) continue;
@@ -131,26 +150,29 @@ class ObjectStore {
         if (l->writer->status(std::memory_order_relaxed) ==
             runtime::TxStatus::kCommitted) {
           // The tentative version heads the chain (its prev is `committed`).
-          destroy_chain(l->tentative);
+          free_chain_now(l->tentative);
         } else {
-          delete l->tentative;
-          destroy_chain(l->committed);
+          pool_.destroy(-1, l->tentative);
+          free_chain_now(l->committed);
         }
       } else {
-        destroy_chain(l->committed);
+        free_chain_now(l->committed);
       }
-      delete l;
+      pool_.destroy(-1, l);
     }
   }
 
   /// Create an object whose initial version holds `initial` and whose
-  /// version metadata is brace-initialized from `meta_args`.
+  /// version metadata is brace-initialized from `meta_args`. Callers are
+  /// typically not attached to a slot, so the nodes are individually
+  /// allocated (cold path) but still pool-tagged for uniform release.
   template <typename... MetaArgs>
   Object* allocate(runtime::Payload* initial, MetaArgs&&... meta_args) {
     // ts/ct = zero-state, vid = 0: the initial state.
     auto* version =
-        new Version(initial, std::forward<MetaArgs>(meta_args)...);
-    auto* locator = new Locator{nullptr, nullptr, version};
+        pool_.create<Version>(-1, initial, std::forward<MetaArgs>(meta_args)...);
+    auto* locator = pool_.create<Locator>(-1);
+    locator->committed = version;
     auto obj = std::make_unique<Object>();
     obj->loc.store(locator, std::memory_order_release);
     obj->oid = object_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -201,6 +223,20 @@ class ObjectStore {
     }
   }
 
+  /// Clone the current payload into a fresh pooled Version for slot's
+  /// thread (the writer's private duplicate). Inline payload when it fits;
+  /// type-erased heap clone as fallback.
+  template <typename... MetaArgs>
+  Version* clone_version(int slot, const runtime::Payload& src,
+                         MetaArgs&&... meta_args) {
+    return pool_.create<Version>(slot, runtime::ClonePayload{src},
+                                 std::forward<MetaArgs>(meta_args)...);
+  }
+
+  /// Return a never-published version (failed install, aborted before
+  /// install) straight to the pool — no grace period needed.
+  void discard_version(int slot, Version* v) { pool_.destroy(slot, v); }
+
   /// Replace a finished (committed/aborted) writer's locator with a settled
   /// one. Safe to call concurrently; no-op if the locator moved on.
   void settle(Object& o, Locator* seen, int slot) {
@@ -213,35 +249,43 @@ class ObjectStore {
     Version* current = (st == runtime::TxStatus::kCommitted)
                            ? seen->tentative
                            : seen->committed;
-    auto* settled = new Locator{nullptr, nullptr, current};
+    Locator* settled = take_spare_locator(slot);
+    settled->writer = nullptr;
+    settled->tentative = nullptr;
+    settled->committed = current;
     Locator* expected = seen;
     if (o.loc.compare_exchange_strong(expected, settled,
                                       std::memory_order_acq_rel)) {
       if (st == runtime::TxStatus::kAborted) {
         // The tentative version never became visible; only the settling
         // winner retires it, so it is retired exactly once.
-        epochs_.retire(slot, seen->tentative);
+        retire_version(slot, seen->tentative);
       }
-      epochs_.retire(slot, seen);
+      retire_locator(slot, seen);
       prune(o, slot);
     } else {
-      delete settled;
+      put_spare_locator(slot, settled);
     }
   }
 
   /// Acquire write ownership: CAS `{writer, tentative, seen->committed}`
   /// over `seen`. On success the superseded locator is retired; on failure
-  /// nothing is consumed (the caller still owns `tentative`). `order` lets
-  /// Z-STM make the install seq_cst (Dekker pair with zone claims).
+  /// nothing is consumed (the caller still owns `tentative`, and the
+  /// speculative locator goes back to the slot's spare cache for the next
+  /// retry). `order` lets Z-STM make the install seq_cst (Dekker pair with
+  /// zone claims).
   bool install(Object& o, Locator* seen, Desc* writer, Version* tentative,
                int slot, std::memory_order order = std::memory_order_acq_rel) {
-    auto* nl = new Locator{writer, tentative, seen->committed};
+    Locator* nl = take_spare_locator(slot);
+    nl->writer = writer;
+    nl->tentative = tentative;
+    nl->committed = seen->committed;
     Locator* expected = seen;
     if (o.loc.compare_exchange_strong(expected, nl, order)) {
-      epochs_.retire(slot, seen);
+      retire_locator(slot, seen);
       return true;
     }
-    delete nl;
+    put_spare_locator(slot, nl);
     return false;
   }
 
@@ -262,9 +306,21 @@ class ObjectStore {
     Version* suffix = v->prev.exchange(nullptr, std::memory_order_acq_rel);
     if (suffix == nullptr) return;
     // Retire the whole detached suffix as one unit.
-    epochs_.retire_raw(slot, suffix, [](void* p) {
-      destroy_chain(static_cast<Version*>(p));
-    });
+    if (pool_.enabled()) {
+      epochs_.retire_raw(slot, suffix, [](void* p, int s) {
+        Version* v2 = static_cast<Version*>(p);
+        while (v2 != nullptr) {
+          Version* older = v2->prev.load(std::memory_order_relaxed);
+          v2->~Version();
+          NodePool::release_block(v2, s);
+          v2 = older;
+        }
+      });
+    } else {
+      epochs_.retire_raw(slot, suffix, [](void* p, int) {
+        destroy_chain(static_cast<Version*>(p));
+      });
+    }
   }
 
   /// Walk newest-first from `cur` to the immediate successor of `read`.
@@ -305,12 +361,31 @@ class ObjectStore {
   }
 
   const RetentionPolicy& retention() const { return retention_; }
+  NodePool& pool() { return pool_; }
 
   static void destroy_chain(Version* v) {
     while (v != nullptr) {
       Version* p = v->prev.load(std::memory_order_relaxed);
       delete v;
       v = p;
+    }
+  }
+
+  /// Retire a version/locator through EBR with the matching free path
+  /// (pool return or delete). Exposed for runtimes retiring descriptors
+  /// alongside (lsa/cs pool those through the same NodePool).
+  void retire_version(int slot, Version* v) {
+    if (pool_.enabled()) {
+      epochs_.retire_raw(slot, v, &NodePool::ebr_destroy<Version>);
+    } else {
+      epochs_.retire(slot, v);
+    }
+  }
+  void retire_locator(int slot, Locator* l) {
+    if (pool_.enabled()) {
+      epochs_.retire_raw(slot, l, &NodePool::ebr_destroy<Locator>);
+    } else {
+      epochs_.retire(slot, l);
     }
   }
 
@@ -330,9 +405,43 @@ class ObjectStore {
     }
   }
 
+  /// One cached speculative locator per slot: a failed settle/install CAS
+  /// parks its locator here and the next attempt reuses it, so retry churn
+  /// costs three field stores instead of an allocate/free round trip.
+  Locator* take_spare_locator(int slot) {
+    if (slot < 0) return pool_.create<Locator>(slot);
+    Locator*& sp = spare_[static_cast<std::size_t>(slot)].value;
+    if (sp != nullptr) {
+      Locator* l = sp;
+      sp = nullptr;
+      return l;
+    }
+    return pool_.create<Locator>(slot);
+  }
+  void put_spare_locator(int slot, Locator* l) {
+    if (slot >= 0) {
+      Locator*& sp = spare_[static_cast<std::size_t>(slot)].value;
+      if (sp == nullptr) {
+        sp = l;
+        return;
+      }
+    }
+    pool_.destroy(slot, l);
+  }
+
+  void free_chain_now(Version* v) {
+    while (v != nullptr) {
+      Version* p = v->prev.load(std::memory_order_relaxed);
+      pool_.destroy(-1, v);
+      v = p;
+    }
+  }
+
+  NodePool& pool_;
   util::EpochManager& epochs_;
   util::StatsDomain& stats_;
   RetentionPolicy retention_;
+  std::vector<util::Padded<Locator*>> spare_;
   util::PaddedCounter object_ids_;
   std::mutex objects_mutex_;
   std::deque<std::unique_ptr<Object>> objects_;

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 
@@ -32,24 +33,54 @@
 
 namespace zstm::object {
 
+/// Inline payload capacity of a Version: a vtable pointer plus one cache
+/// line of value, so any trivially-copyable T up to 64 bytes is stored
+/// inside the Version and the virtual clone() heap allocation is bypassed
+/// entirely (DESIGN.md §7).
+inline constexpr std::size_t kPayloadSboBytes = 64 + sizeof(void*);
+
 /// A committed (or tentative) object version. `vid` and the Meta fields are
 /// written by the owning transaction before its commit CAS and read by
 /// others only after they observe kCommitted (release/acquire through the
 /// writer's status word).
 template <typename Meta>
 struct Version : Meta {
+  /// Adopt a heap payload (ownership transfers; freed with delete).
   template <typename... MetaArgs>
   explicit Version(runtime::Payload* payload, MetaArgs&&... meta_args)
       : Meta(std::forward<MetaArgs>(meta_args)...), data(payload) {}
-  ~Version() { delete data; }
+
+  /// Clone `c.src`: into the inline buffer when it qualifies (trivially
+  /// copyable, fits), else the type-erased heap fallback.
+  template <typename... MetaArgs>
+  explicit Version(runtime::ClonePayload c, MetaArgs&&... meta_args)
+      : Meta(std::forward<MetaArgs>(meta_args)...) {
+    data = c.src.clone_into(sbo_, sizeof sbo_);
+    if (data == nullptr) data = c.src.clone();
+  }
+
+  ~Version() {
+    if (payload_inline()) {
+      data->~Payload();
+    } else {
+      delete data;
+    }
+  }
 
   Version(const Version&) = delete;
   Version& operator=(const Version&) = delete;
+
+  bool payload_inline() const {
+    return static_cast<const void*>(data) == static_cast<const void*>(sbo_);
+  }
 
   runtime::Payload* data;
   std::uint64_t vid = 0;  // history version id (0 when recording disabled)
   /// Next-older committed version; atomically severed when pruning.
   std::atomic<Version*> prev{nullptr};
+
+ private:
+  alignas(runtime::Payload::kInlineAlign) unsigned char sbo_[kPayloadSboBytes];
 };
 
 /// Immutable locator (DSTM [4]). The logically current committed version is

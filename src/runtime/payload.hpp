@@ -4,19 +4,36 @@
 // TypedPayload<T>. A committed version's payload is never mutated again
 // (readers share it without synchronization); writers always clone
 // ("Duplicate" in the paper's pseudo-code) and mutate the private copy.
+//
+// Cloning has two paths (DESIGN.md §7): clone_into placement-constructs the
+// copy into a caller-provided small buffer (the Version's inline payload
+// storage) when the payload is trivially copyable and fits — no heap
+// allocation at all — and clone() is the type-erased heap fallback for
+// everything else.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <new>
+#include <type_traits>
 #include <utility>
 
 namespace zstm::runtime {
 
 class Payload {
  public:
+  /// Alignment guaranteed by every buffer handed to clone_into.
+  static constexpr std::size_t kInlineAlign = 16;
+
   virtual ~Payload() = default;
   /// Deep copy — the paper's Duplicate(v). Returns an owning raw pointer;
   /// lifetime is managed by the enclosing Version via EBR.
   virtual Payload* clone() const = 0;
+  /// Placement-clone into `buf` (`cap` bytes, kInlineAlign-aligned) when
+  /// this payload qualifies for inline storage (trivially copyable value,
+  /// fits in cap); returns nullptr otherwise and the caller falls back to
+  /// clone(). An inline copy is destroyed with ~Payload(), never delete.
+  virtual Payload* clone_into(void* buf, std::size_t cap) const = 0;
 
  protected:
   Payload() = default;
@@ -31,11 +48,31 @@ class TypedPayload final : public Payload {
 
   Payload* clone() const override { return new TypedPayload<T>(value_); }
 
+  Payload* clone_into(void* buf, std::size_t cap) const override {
+    if constexpr (std::is_trivially_copyable_v<T> &&
+                  alignof(TypedPayload<T>) <= kInlineAlign) {
+      if (sizeof(TypedPayload<T>) <= cap) {
+        return ::new (buf) TypedPayload<T>(value_);
+      }
+      return nullptr;
+    } else {
+      (void)buf;
+      (void)cap;
+      return nullptr;
+    }
+  }
+
   const T& value() const { return value_; }
   T& value() { return value_; }
 
  private:
   T value_;
+};
+
+/// Tag for Version's clone-constructing constructor: build the new
+/// version's payload as a copy of `src` (inline when it fits).
+struct ClonePayload {
+  const Payload& src;
 };
 
 /// Downcasts are safe by construction: a Var<T> only ever stores

@@ -12,11 +12,12 @@ Runtime::Runtime(Config cfg)
     : cfg_(cfg),
       domain_(cfg.max_threads),
       registry_(cfg.max_threads),
-      epochs_(registry_),
       stats_(registry_),
+      pool_(registry_, &stats_, cfg.use_node_pool),
+      epochs_(registry_),
       recorder_(cfg.record_history, cfg.max_threads),
       cm_(cm::make_manager(cfg.cm_policy)),
-      store_(epochs_, stats_, object::retention_policy(cfg)) {}
+      store_(pool_, epochs_, stats_, object::retention_policy(cfg)) {}
 
 // The store tears down the live objects; runtime-retained descriptors are
 // freed with descs_.
@@ -418,7 +419,7 @@ runtime::Payload& Tx::write_object(Object& o) {
     Version* base = l->committed;
     desc_->ct.merge(base->ct);
     absorb_past_readers(base);
-    auto* tent = new Version(base->data->clone(), rt.domain_.zero());
+    Version* tent = rt.store_.clone_version(s, *base->data, rt.domain_.zero());
     tent->prev.store(base, std::memory_order_relaxed);
     if (rt.recorder_.enabled()) tent->vid = rt.recorder_.new_version_id();
     if (rt.store_.install(o, l, desc_, tent, s)) {
@@ -427,7 +428,7 @@ runtime::Payload& Tx::write_object(Object& o) {
       rt.stats_.add(s, util::Counter::kWrites);
       return *tent->data;
     }
-    delete tent;
+    rt.store_.discard_version(s, tent);
   }
 }
 

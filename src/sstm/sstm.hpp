@@ -67,6 +67,9 @@ struct Config {
   int retention_max = 64;
   int retention_decay_period = 64;
   cm::Policy cm_policy = cm::Policy::kPolite;
+  /// Slab-pool node allocation (DESIGN.md §7); ZSTM_POOL=0 overrides.
+  /// Descriptors stay runtime-retained either way (reader lists).
+  bool use_node_pool = true;
   bool record_history = false;
 };
 
@@ -272,8 +275,10 @@ class Runtime {
   Config cfg_;
   timebase::VcDomain domain_;
   util::ThreadRegistry registry_;
-  util::EpochManager epochs_;
   util::StatsDomain stats_;
+  // Before the EpochManager: its drain returns nodes to the pool.
+  object::NodePool pool_;
+  util::EpochManager epochs_;
   history::Recorder recorder_;
   std::unique_ptr<cm::ContentionManager> cm_;
   util::PaddedCounter tx_ids_;

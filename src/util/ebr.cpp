@@ -30,7 +30,7 @@ bool EpochManager::pinned(int slot) const {
              std::memory_order_acquire) != kQuiescent;
 }
 
-void EpochManager::retire_raw(int slot, void* p, void (*deleter)(void*)) {
+void EpochManager::retire_raw(int slot, void* p, Deleter deleter) {
   auto& st = slots_[static_cast<std::size_t>(slot)];
   garbage_[static_cast<std::size_t>(slot)].value.push_back(
       Retired{p, deleter, global_epoch_.load(std::memory_order_acquire)});
@@ -66,7 +66,7 @@ void EpochManager::collect(int slot) {
     // because every thread pinned then has announced an epoch >= r+1 and so
     // started after the retire was published.
     if (list[i].epoch + 2 <= e) {
-      list[i].deleter(list[i].ptr);
+      list[i].deleter(list[i].ptr, slot);
       freed_total_.fetch_add(1, std::memory_order_relaxed);
     } else {
       list[kept++] = list[i];
@@ -76,12 +76,14 @@ void EpochManager::collect(int slot) {
 }
 
 void EpochManager::drain_all() {
-  for (auto& padded : garbage_) {
-    for (auto& item : padded.value) {
-      item.deleter(item.ptr);
+  for (std::size_t s = 0; s < garbage_.size(); ++s) {
+    for (auto& item : garbage_[s].value) {
+      // Single-threaded teardown: free on behalf of the retiring slot so
+      // pooled nodes land back on their owner's free list.
+      item.deleter(item.ptr, static_cast<int>(s));
       freed_total_.fetch_add(1, std::memory_order_relaxed);
     }
-    padded.value.clear();
+    garbage_[s].value.clear();
   }
 }
 

@@ -74,14 +74,19 @@ class EpochManager {
   void unpin(int slot);
   bool pinned(int slot) const;
 
+  /// Deleters receive the node and the slot of the thread that is freeing
+  /// it (the collecting slot, not necessarily the retiring one) — pooled
+  /// allocators use it to pick the thread-local return path.
+  using Deleter = void (*)(void* p, int freeing_slot);
+
   /// Queue p for deletion once no pinned thread can still reach it.
   /// Must be called by the thread owning `slot`.
   template <typename T>
   void retire(int slot, T* p) {
-    retire_raw(slot, p, [](void* q) { delete static_cast<T*>(q); });
+    retire_raw(slot, p, [](void* q, int) { delete static_cast<T*>(q); });
   }
 
-  void retire_raw(int slot, void* p, void (*deleter)(void*));
+  void retire_raw(int slot, void* p, Deleter deleter);
 
   /// Opportunistically advance the global epoch and free this slot's safe
   /// garbage. Called automatically every few retirements; callable manually.
@@ -104,7 +109,7 @@ class EpochManager {
  private:
   struct Retired {
     void* ptr;
-    void (*deleter)(void*);
+    Deleter deleter;
     std::uint64_t epoch;
   };
 

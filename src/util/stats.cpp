@@ -24,6 +24,9 @@ const char* counter_name(Counter c) {
     case Counter::kFalseConflicts: return "false_conflicts";
     case Counter::kRetentionGrows: return "retention_grows";
     case Counter::kRetentionDecays: return "retention_decays";
+    case Counter::kPoolHits: return "pool_hits";
+    case Counter::kPoolMisses: return "pool_misses";
+    case Counter::kPoolReturns: return "pool_returns";
     case Counter::kCount: break;
   }
   return "?";

@@ -36,6 +36,9 @@ enum class Counter : int {
   kFalseConflicts,   // plausible-clock-induced aborts (vs. exact VC verdict)
   kRetentionGrows,   // adaptive retention: per-object bound doubled
   kRetentionDecays,  // adaptive retention: per-object bound shrank by one
+  kPoolHits,         // node allocations served from a slab free list
+  kPoolMisses,       // node allocations that hit the global heap (slab carve)
+  kPoolReturns,      // cross-thread node releases routed via an MPSC stack
   kCount
 };
 

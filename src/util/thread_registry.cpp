@@ -25,7 +25,33 @@ ThreadRegistry::Registration ThreadRegistry::attach() {
   throw std::runtime_error("ThreadRegistry: no free thread slots");
 }
 
+int ThreadRegistry::add_release_listener(std::function<void(int)> fn) {
+  std::lock_guard<std::mutex> lk(listeners_mutex_);
+  const int id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void ThreadRegistry::remove_release_listener(int id) {
+  std::lock_guard<std::mutex> lk(listeners_mutex_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == id) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
 void ThreadRegistry::release_slot(int slot) {
+  // Run the hooks before the slot is marked free: the releasing thread
+  // still owns the slot's single-owner state (EBR lists, pool free lists).
+  std::vector<std::function<void(int)>> fns;
+  {
+    std::lock_guard<std::mutex> lk(listeners_mutex_);
+    fns.reserve(listeners_.size());
+    for (const auto& [id, fn] : listeners_) fns.push_back(fn);
+  }
+  for (const auto& fn : fns) fn(slot);
   slots_[static_cast<std::size_t>(slot)].value.store(false,
                                                      std::memory_order_release);
 }

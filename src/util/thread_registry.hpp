@@ -12,7 +12,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "util/align.hpp"
@@ -70,6 +73,14 @@ class ThreadRegistry {
         std::memory_order_acquire);
   }
 
+  /// Slot-release hooks: `fn(slot)` runs on the releasing thread just
+  /// before the slot is marked free (it still owns the slot's per-thread
+  /// state). The NodePool uses this to drain a dying thread's cross-thread
+  /// return stacks so pooled memory survives thread churn. Returns an id
+  /// for remove_release_listener.
+  int add_release_listener(std::function<void(int)> fn);
+  void remove_release_listener(int id);
+
  private:
   friend class Registration;
   void release_slot(int slot);
@@ -77,6 +88,9 @@ class ThreadRegistry {
   int capacity_;
   std::atomic<int> high_water_{0};
   std::vector<Padded<std::atomic<bool>>> slots_;
+  std::mutex listeners_mutex_;
+  int next_listener_id_ = 0;
+  std::vector<std::pair<int, std::function<void(int)>>> listeners_;
 };
 
 }  // namespace zstm::util

@@ -129,7 +129,8 @@ LongTx& ThreadCtx::begin_long() {
   lsa::Runtime& sub = rt_.lsa_;
   const int s = slot();
   const std::uint64_t id = sub.next_tx_id();
-  tx.desc_ = new lsa::TxDesc(id, s, runtime::TxClass::kLong);
+  tx.desc_ = sub.node_pool().create<lsa::TxDesc>(s, id, s,
+                                                 runtime::TxClass::kLong);
   tx.desc_->set_start_ticks(sub.next_tick());
   long_epoch_guard_ = sub.epochs().pin_guard(s);
   // Startlong line 3: T.zc ← ++ZC — a fresh, unique zone number.
@@ -160,7 +161,7 @@ void ThreadCtx::finish_long_attempt(bool committed) {
     long_tx_.rec_.end_seq = sub.recorder().tick();
     sub.recorder().record(slot(), std::move(long_tx_.rec_));
   }
-  sub.epochs().retire(slot(), long_tx_.desc_);
+  sub.retire_desc(slot(), long_tx_.desc_);
   long_tx_.desc_ = nullptr;
   long_epoch_guard_ = util::EpochManager::Guard();
 }
@@ -366,7 +367,7 @@ runtime::Payload& LongTx::write_object(lsa::Object& o) {
       ctx_.abort_long_attempt();
       throw TxAborted{};
     }
-    auto* tent = new lsa::Version(base->data->clone());
+    lsa::Version* tent = sub.store().clone_version(s, *base->data);
     tent->prev.store(base, std::memory_order_relaxed);
     if (sub.recorder().enabled()) tent->vid = sub.recorder().new_version_id();
     if (sub.store().install(o, l, desc_, tent, s)) {
@@ -375,7 +376,7 @@ runtime::Payload& LongTx::write_object(lsa::Object& o) {
       sub.stats_domain().add(s, util::Counter::kWrites);
       return *tent->data;
     }
-    delete tent;
+    sub.store().discard_version(s, tent);
   }
 }
 

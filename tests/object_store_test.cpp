@@ -38,15 +38,18 @@ using Version = Store::Version;
 using Locator = Store::Locator;
 using Object = Store::Object;
 
-/// Test rig: registry + EBR + stats + a store with the given policy.
+/// Test rig: registry + stats + pool + EBR + a store with the given policy
+/// (same member order as the runtimes: the pool outlives the EpochManager,
+/// whose drain returns nodes to it).
 struct Rig {
   explicit Rig(RetentionPolicy policy)
-      : registry(8), epochs(registry), stats(registry),
-        store(epochs, stats, policy) {}
+      : registry(8), stats(registry), pool(registry, &stats), epochs(registry),
+        store(pool, epochs, stats, policy) {}
 
   util::ThreadRegistry registry;
-  util::EpochManager epochs;
   util::StatsDomain stats;
+  NodePool pool;
+  util::EpochManager epochs;
   Store store;
 };
 
@@ -58,7 +61,8 @@ Version* commit_version(Rig& rig, Object& o, TestDesc& d, std::uint64_t ts,
                         int slot, long value) {
   Locator* l = o.loc.load(std::memory_order_acquire);
   EXPECT_EQ(l->writer, nullptr);
-  auto* tent = new Version(new runtime::TypedPayload<long>(value));
+  const runtime::TypedPayload<long> pv(value);
+  Version* tent = rig.store.clone_version(slot, pv);
   tent->prev.store(l->committed, std::memory_order_relaxed);
   EXPECT_TRUE(rig.store.install(o, l, &d, tent, slot));
   tent->ts = ts;
@@ -120,7 +124,8 @@ TEST(ObjectStore, SettleAbortedWriterKeepsCommittedAndRetiresTentative) {
   Version* base = initial->committed;
 
   TestDesc d(1, s, runtime::TxClass::kShort);
-  auto* tent = new Version(new runtime::TypedPayload<long>(6));
+  const runtime::TypedPayload<long> pv(6);
+  Version* tent = rig.store.clone_version(s, pv);
   tent->prev.store(base, std::memory_order_relaxed);
   ASSERT_TRUE(rig.store.install(*o, initial, &d, tent, s));
   d.finish_abort();
@@ -145,9 +150,10 @@ TEST(ObjectStore, InstallFailsOnStaleLocatorWithoutConsuming) {
   commit_version(rig, *o, d1, 5, s, 1);  // moves the locator on
 
   TestDesc d2(2, s, runtime::TxClass::kShort);
-  auto* tent = new Version(new runtime::TypedPayload<long>(2));
+  const runtime::TypedPayload<long> pv(2);
+  Version* tent = rig.store.clone_version(s, pv);
   EXPECT_FALSE(rig.store.install(*o, stale, &d2, tent, s));
-  delete tent;  // caller still owns it on failure
+  rig.store.discard_version(s, tent);  // caller still owns it on failure
 }
 
 TEST(ObjectStore, ResolveSkipsOwnLocatorToPreWriteVersion) {
@@ -159,7 +165,8 @@ TEST(ObjectStore, ResolveSkipsOwnLocatorToPreWriteVersion) {
   Version* base = l->committed;
 
   TestDesc d(1, s, runtime::TxClass::kShort);
-  auto* tent = new Version(new runtime::TypedPayload<long>(4));
+  const runtime::TypedPayload<long> pv(4);
+  Version* tent = rig.store.clone_version(s, pv);
   tent->prev.store(base, std::memory_order_relaxed);
   ASSERT_TRUE(rig.store.install(*o, l, &d, tent, s));
 
