@@ -11,6 +11,13 @@
 //  * Thread 0 runs transfers with 80% probability and Compute-Total with
 //    20%; all other threads run only transfers.
 //
+// The harness is one generic `Bank<S>` over the zstm::api façade: S is
+// `api::Stm<R>` (compiled-in runtime, zero-cost) or `api::AnyStm` (runtime
+// picked by name — how bench_fig6/fig7 cover all five variants and
+// examples/bank.cpp grows a --runtime flag). Transfers run as
+// TxKind::kUpdate, Compute-Total as kLong / kLongUpdate — Z-STM maps those
+// onto Algorithm 2, every other runtime onto its ordinary transactions.
+//
 // Long transactions that cannot commit within an attempt budget are
 // abandoned and counted as failed episodes — under LSA with update
 // Compute-Total this is the common case (the Figure 7 collapse); retrying
@@ -20,12 +27,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
-#include "lsa/lsa.hpp"
+#include "api/stm_api.hpp"
 #include "util/rng.hpp"
-#include "zstm/zstm.hpp"
 
 namespace zstm::bench {
 
@@ -47,103 +56,66 @@ struct BankResult {
   std::uint64_t transfer_commits = 0;
 };
 
-/// LSA-STM bank (baseline). `track_ro_readsets = false` gives the paper's
-/// "LSA-STM (no readsets)" variant.
-class LsaBank {
+/// Config sized for a bank run: the workload's threads plus headroom for
+/// the main thread and stragglers.
+inline api::CommonConfig bank_config(const BankParams& p) {
+  api::CommonConfig cfg;
+  cfg.max_threads = p.threads + 2;
+  return cfg;
+}
+
+/// The paper's bank over any façade (api::Stm<R> or api::AnyStm). Threads
+/// attach implicitly on their first transaction.
+template <typename S>
+class Bank {
  public:
-  LsaBank(const BankParams& p, bool track_ro_readsets) {
-    lsa::Config cfg;
-    cfg.max_threads = p.threads + 2;
-    cfg.track_readonly_readsets = track_ro_readsets;
-    rt_ = std::make_unique<lsa::Runtime>(cfg);
+  Bank(S stm, const BankParams& p) : stm_(std::move(stm)) {
     for (int i = 0; i < p.accounts; ++i) {
-      accounts_.push_back(rt_->make_var<long>(1000));
+      accounts_.push_back(stm_.make_var(1000L));
     }
-    sink_ = rt_->make_var<long>(0);
+    sink_ = stm_.make_var(0L);
   }
 
-  using Ctx = std::unique_ptr<lsa::ThreadCtx>;
-  Ctx attach() { return rt_->attach(); }
+  S& stm() { return stm_; }
 
-  void transfer(lsa::ThreadCtx& th, std::size_t from, std::size_t to,
-                long amount) {
-    rt_->run(th, [&](lsa::Tx& tx) {
+  void transfer(std::size_t from, std::size_t to, long amount) {
+    stm_.run(api::TxKind::kUpdate, [&](auto& tx) {
       tx.write(accounts_[from]) -= amount;
       tx.write(accounts_[to]) += amount;
     });
   }
 
-  bool compute_total(lsa::ThreadCtx& th, bool update,
-                     std::uint32_t attempt_budget) {
-    for (std::uint32_t a = 0; a < attempt_budget; ++a) {
-      lsa::Tx& tx = th.begin(/*read_only=*/!update);
-      try {
-        long total = 0;
-        for (auto& acc : accounts_) total += tx.read(acc);
-        if (update) tx.write(sink_, total);
-        th.commit();
-        return true;
-      } catch (const lsa::TxAborted&) {
-        // retry within budget
-      }
-    }
-    return false;
+  /// One Compute-Total episode; false = attempt budget exhausted.
+  bool compute_total(bool update, std::uint32_t attempt_budget) {
+    const api::RunResult r = stm_.run(
+        update ? api::TxKind::kLongUpdate : api::TxKind::kLong,
+        [&](auto& tx) {
+          long total = 0;
+          for (auto& acc : accounts_) total += tx.read(acc);
+          if (update) tx.write(sink_, total);
+        },
+        attempt_budget);
+    return r.committed;
   }
 
- private:
-  std::unique_ptr<lsa::Runtime> rt_;
-  std::vector<lsa::Var<long>> accounts_;
-  lsa::Var<long> sink_;
-};
-
-/// Z-STM bank: transfers are short transactions, Compute-Total is long.
-class ZBank {
- public:
-  explicit ZBank(const BankParams& p) {
-    zl::Config cfg;
-    cfg.lsa.max_threads = p.threads + 2;
-    rt_ = std::make_unique<zl::Runtime>(cfg);
-    for (int i = 0; i < p.accounts; ++i) {
-      accounts_.push_back(rt_->make_var<long>(1000));
-    }
-    sink_ = rt_->make_var<long>(0);
-  }
-
-  using Ctx = std::unique_ptr<zl::ThreadCtx>;
-  Ctx attach() { return rt_->attach(); }
-
-  void transfer(zl::ThreadCtx& th, std::size_t from, std::size_t to,
-                long amount) {
-    rt_->run_short(th, [&](zl::ShortTx& tx) {
-      tx.write(accounts_[from]) -= amount;
-      tx.write(accounts_[to]) += amount;
+  /// Conservation check: the committed sum of all accounts.
+  long total_balance() {
+    long total = 0;
+    stm_.run(api::TxKind::kReadOnly, [&](auto& tx) {
+      total = 0;
+      for (auto& acc : accounts_) total += tx.read(acc);
     });
-  }
-
-  bool compute_total(zl::ThreadCtx& th, bool update,
-                     std::uint32_t attempt_budget) {
-    for (std::uint32_t a = 0; a < attempt_budget; ++a) {
-      zl::LongTx& tx = th.begin_long();
-      try {
-        long total = 0;
-        for (auto& acc : accounts_) total += tx.read(acc);
-        if (update) tx.write(sink_, total);
-        th.commit_long();
-        return true;
-      } catch (const zl::TxAborted&) {
-      }
-    }
-    return false;
+    return total;
   }
 
  private:
-  std::unique_ptr<zl::Runtime> rt_;
-  std::vector<lsa::Var<long>> accounts_;
-  lsa::Var<long> sink_;
+  S stm_;
+  std::vector<typename S::template Var<long>> accounts_;
+  typename S::template Var<long> sink_;
 };
 
-template <typename Bank>
-BankResult run_bank(Bank& bank, const BankParams& p) {
+template <typename S>
+BankResult run_bank(Bank<S>& bank, const BankParams& p) {
   std::atomic<std::uint64_t> ct_commits{0};
   std::atomic<std::uint64_t> ct_failures{0};
   std::atomic<std::uint64_t> tr_commits{0};
@@ -152,13 +124,12 @@ BankResult run_bank(Bank& bank, const BankParams& p) {
   std::vector<std::thread> workers;
   for (int t = 0; t < p.threads; ++t) {
     workers.emplace_back([&, t] {
-      auto th = bank.attach();
       util::Xorshift rng(p.seed + static_cast<std::uint64_t>(t) * 1609);
       std::uint64_t my_ct = 0, my_ct_fail = 0, my_tr = 0;
       const auto n = static_cast<std::uint64_t>(p.accounts);
       while (!stop.load(std::memory_order_acquire)) {
         if (t == 0 && rng.chance(p.long_probability)) {
-          if (bank.compute_total(*th, p.update_total, p.long_attempt_budget)) {
+          if (bank.compute_total(p.update_total, p.long_attempt_budget)) {
             ++my_ct;
           } else {
             ++my_ct_fail;
@@ -167,7 +138,7 @@ BankResult run_bank(Bank& bank, const BankParams& p) {
           const std::size_t from = rng.next_below(n);
           std::size_t to = rng.next_below(n);
           if (to == from) to = (to + 1) % n;
-          bank.transfer(*th, from, to, 1 + static_cast<long>(rng.next_below(90)));
+          bank.transfer(from, to, 1 + static_cast<long>(rng.next_below(90)));
           ++my_tr;
         }
       }
@@ -192,6 +163,32 @@ BankResult run_bank(Bank& bank, const BankParams& p) {
   r.compute_total_per_s = static_cast<double>(r.compute_total_commits) / secs;
   r.transfer_per_s = static_cast<double>(r.transfer_commits) / secs;
   return r;
+}
+
+/// Build a bank over a by-name runtime and run it — the one-call form the
+/// figure benches and the example share. Dispatches at compile time to the
+/// zero-cost api::Stm<R> adapters (a switch over the six variant names),
+/// so the figure numbers measure the native access path, not AnyStm's
+/// erased-handle indirection. `conserved_total`, when given, receives the
+/// post-run sum of all accounts (the §5.5 conservation invariant).
+/// Throws std::invalid_argument for unknown names (like AnyStm::make).
+template <typename S>
+BankResult run_stm_bank(S stm, const BankParams& p, long* conserved_total) {
+  Bank<S> bank(std::move(stm), p);
+  BankResult r = run_bank(bank, p);
+  if (conserved_total != nullptr) *conserved_total = bank.total_balance();
+  return r;
+}
+
+inline BankResult run_named_bank(const std::string& runtime_name,
+                                 const BankParams& p,
+                                 long* conserved_total = nullptr) {
+  return api::visit_variant(
+      runtime_name, bank_config(p),
+      [&](auto tag, const char*, const api::CommonConfig& cfg) {
+        using S = typename decltype(tag)::type;
+        return run_stm_bank(S(cfg), p, conserved_total);
+      });
 }
 
 }  // namespace zstm::bench

@@ -3,112 +3,31 @@
 //
 //   Left panel:  Compute-Total throughput (long read-only transactions)
 //   Right panel: Transfer throughput (short update transactions)
-//   Systems:     LSA-STM, LSA-STM (no readsets), Z-STM
+//   Systems:     all variants behind the zstm::api façade — LSA-STM,
+//                LSA-STM (no readsets), CS-STM (vector clocks), CS-STM
+//                (plausible clocks), S-STM, Z-STM. The paper plots the
+//                first two and Z-STM; the CS/S rows locate causal
+//                serializability and full serializability on the same axes.
 //   Threads:     1, 2, 8, 16, 32 (as plotted in the paper)
 //
-// Expected shape (paper): all three systems sustain similar transfer
-// throughput; Z-STM executes Compute-Total faster than plain LSA-STM
-// because "the latter always maintains read sets"; LSA-STM without read
-// sets matches Z-STM. Absolute numbers depend on the host (the paper used
-// an 8-core UltraSPARC T1); see EXPERIMENTS.md.
+// Expected shape (paper): the LSA variants and Z-STM sustain similar
+// transfer throughput; Z-STM executes Compute-Total faster than plain
+// LSA-STM because "the latter always maintains read sets"; LSA-STM without
+// read sets matches Z-STM. S-STM pays for visible reads and the commit
+// lock on both panels (the §4.2 "prohibitive" overhead). Absolute numbers
+// depend on the host (the paper used an 8-core UltraSPARC T1); see
+// EXPERIMENTS.md.
 // `--json` additionally writes BENCH_fig6.json (see bench_json.hpp).
-#include <cstdio>
-
-#include "bank_harness.hpp"
-#include "bench_json.hpp"
-
-namespace {
-
-using zstm::bench::BankParams;
-using zstm::bench::BankResult;
-using zstm::bench::LsaBank;
-using zstm::bench::ZBank;
-
-struct Row {
-  int threads;
-  BankResult lsa;
-  BankResult lsa_nrs;
-  BankResult z;
-};
-
-Row run_row(int threads) {
-  BankParams p;
-  p.threads = threads;
-  p.duration = std::chrono::milliseconds(250);
-  p.update_total = false;
-  Row row;
-  row.threads = threads;
-  {
-    LsaBank bank(p, /*track_ro_readsets=*/true);
-    row.lsa = run_bank(bank, p);
-  }
-  {
-    LsaBank bank(p, /*track_ro_readsets=*/false);
-    row.lsa_nrs = run_bank(bank, p);
-  }
-  {
-    ZBank bank(p);
-    row.z = run_bank(bank, p);
-  }
-  return row;
-}
-
-}  // namespace
+#include "fig_common.hpp"
 
 int main(int argc, char** argv) {
-  const bool json = zstm::benchjson::json_requested(argc, argv);
-  std::printf("Figure 6 — Bank benchmark, read-only Compute-Total\n");
-  std::printf("(1000 accounts; thread 0: 80%% transfers / 20%% Compute-Total; "
-              "others: transfers)\n\n");
-
-  std::vector<Row> rows;
-  for (int threads : {1, 2, 8, 16, 32}) rows.push_back(run_row(threads));
-
-  std::printf("Compute-Total transactions (read-only)  [tx/s]\n");
-  std::printf("%8s %14s %20s %14s\n", "threads", "LSA-STM",
-              "LSA-STM(no-readsets)", "Z-STM");
-  for (const auto& r : rows) {
-    std::printf("%8d %14.1f %20.1f %14.1f\n", r.threads,
-                r.lsa.compute_total_per_s, r.lsa_nrs.compute_total_per_s,
-                r.z.compute_total_per_s);
-  }
-
-  std::printf("\nTransfer transactions  [tx/s]\n");
-  std::printf("%8s %14s %20s %14s\n", "threads", "LSA-STM",
-              "LSA-STM(no-readsets)", "Z-STM");
-  for (const auto& r : rows) {
-    std::printf("%8d %14.0f %20.0f %14.0f\n", r.threads, r.lsa.transfer_per_s,
-                r.lsa_nrs.transfer_per_s, r.z.transfer_per_s);
-  }
-
-  std::printf("\nCompute-Total failed episodes (attempt budget exhausted):\n");
-  std::printf("%8s %14s %20s %14s\n", "threads", "LSA-STM",
-              "LSA-STM(no-readsets)", "Z-STM");
-  for (const auto& r : rows) {
-    std::printf("%8d %14llu %20llu %14llu\n", r.threads,
-                static_cast<unsigned long long>(r.lsa.compute_total_failures),
-                static_cast<unsigned long long>(
-                    r.lsa_nrs.compute_total_failures),
-                static_cast<unsigned long long>(r.z.compute_total_failures));
-  }
-
-  if (json) {
-    zstm::benchjson::Doc doc("fig6");
-    const auto emit = [&doc](const char* system, int threads,
-                             const BankResult& b) {
-      doc.row()
-          .str("system", system)
-          .num("threads", threads)
-          .num("compute_total_per_s", b.compute_total_per_s)
-          .num("transfer_per_s", b.transfer_per_s)
-          .num("compute_total_failures", b.compute_total_failures);
-    };
-    for (const auto& r : rows) {
-      emit("lsa", r.threads, r.lsa);
-      emit("lsa_no_readsets", r.threads, r.lsa_nrs);
-      emit("zstm", r.threads, r.z);
-    }
-    if (!doc.write()) return 1;
-  }
-  return 0;
+  const zstm::bench::FigureSpec spec{
+      "fig6",
+      "Figure 6 — Bank benchmark, read-only Compute-Total",
+      "(1000 accounts; thread 0: 80% transfers / 20% Compute-Total; "
+      "others: transfers)",
+      "Compute-Total transactions (read-only)  [tx/s]",
+      /*update_total=*/false,
+  };
+  return zstm::bench::run_figure(spec, argc, argv);
 }

@@ -8,87 +8,21 @@
 //                throughput."
 //   Right panel: Transfer throughput — "the transfer throughput does not
 //                decrease as compared to LSA-STM."
-//   Systems:     LSA-STM, Z-STM; threads 1, 2, 8, 16, 32.
+//   Systems:     all variants behind the zstm::api façade (the paper plots
+//                LSA-STM and Z-STM; CS-STM's causal admissibility and
+//                S-STM's serializable overhead frame them); threads 1, 2,
+//                8, 16, 32.
 // `--json` additionally writes BENCH_fig7.json (see bench_json.hpp).
-#include <cstdio>
-
-#include "bank_harness.hpp"
-#include "bench_json.hpp"
-
-namespace {
-
-using zstm::bench::BankParams;
-using zstm::bench::BankResult;
-using zstm::bench::LsaBank;
-using zstm::bench::ZBank;
-
-struct Row {
-  int threads;
-  BankResult lsa;
-  BankResult z;
-};
-
-Row run_row(int threads) {
-  BankParams p;
-  p.threads = threads;
-  p.duration = std::chrono::milliseconds(250);
-  p.update_total = true;
-  Row row;
-  row.threads = threads;
-  {
-    LsaBank bank(p, /*track_ro_readsets=*/true);
-    row.lsa = run_bank(bank, p);
-  }
-  {
-    ZBank bank(p);
-    row.z = run_bank(bank, p);
-  }
-  return row;
-}
-
-}  // namespace
+#include "fig_common.hpp"
 
 int main(int argc, char** argv) {
-  const bool json = zstm::benchjson::json_requested(argc, argv);
-  std::printf("Figure 7 — Bank benchmark, update Compute-Total\n");
-  std::printf("(Compute-Total additionally writes a private transactional "
-              "sink object)\n\n");
-
-  std::vector<Row> rows;
-  for (int threads : {1, 2, 8, 16, 32}) rows.push_back(run_row(threads));
-
-  std::printf("Compute-Total transactions (update)  [tx/s]\n");
-  std::printf("%8s %14s %14s %22s\n", "threads", "LSA-STM", "Z-STM",
-              "LSA failed episodes");
-  for (const auto& r : rows) {
-    std::printf("%8d %14.1f %14.1f %22llu\n", r.threads,
-                r.lsa.compute_total_per_s, r.z.compute_total_per_s,
-                static_cast<unsigned long long>(r.lsa.compute_total_failures));
-  }
-
-  std::printf("\nTransfer transactions  [tx/s]\n");
-  std::printf("%8s %14s %14s\n", "threads", "LSA-STM", "Z-STM");
-  for (const auto& r : rows) {
-    std::printf("%8d %14.0f %14.0f\n", r.threads, r.lsa.transfer_per_s,
-                r.z.transfer_per_s);
-  }
-
-  if (json) {
-    zstm::benchjson::Doc doc("fig7");
-    const auto emit = [&doc](const char* system, int threads,
-                             const BankResult& b) {
-      doc.row()
-          .str("system", system)
-          .num("threads", threads)
-          .num("compute_total_per_s", b.compute_total_per_s)
-          .num("transfer_per_s", b.transfer_per_s)
-          .num("compute_total_failures", b.compute_total_failures);
-    };
-    for (const auto& r : rows) {
-      emit("lsa", r.threads, r.lsa);
-      emit("zstm", r.threads, r.z);
-    }
-    if (!doc.write()) return 1;
-  }
-  return 0;
+  const zstm::bench::FigureSpec spec{
+      "fig7",
+      "Figure 7 — Bank benchmark, update Compute-Total",
+      "(Compute-Total additionally writes a private transactional sink "
+      "object)",
+      "Compute-Total transactions (update)  [tx/s]",
+      /*update_total=*/true,
+  };
+  return zstm::bench::run_figure(spec, argc, argv);
 }

@@ -78,12 +78,13 @@ Row trial(zstm::object::RetentionMode mode, int versions_kept) {
   while (std::chrono::steady_clock::now() < deadline) {
     long total = 0;
     attempts += rt.run(
-        *th,
-        [&](zstm::lsa::Tx& tx) {
-          total = 0;
-          for (auto& v : vars) total += tx.read(v);
-        },
-        /*read_only=*/true);
+                      *th,
+                      [&](zstm::lsa::Tx& tx) {
+                        total = 0;
+                        for (auto& v : vars) total += tx.read(v);
+                      },
+                      /*read_only=*/true)
+                    .attempts;
     ++scans;
     sink = total;
   }

@@ -1,0 +1,104 @@
+// Shared driver for the Figure 6/7 bank reproductions: runs the paper's
+// §5.5 bank across every façade variant (api::variant_names, dispatched at
+// compile time to Bank<Stm<R>> by run_named_bank) × the paper's thread
+// counts, prints the three panels, and optionally writes
+// BENCH_<name>.json. bench_fig6.cpp / bench_fig7.cpp supply only the
+// figure-specific headline and the update_total flag.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bank_harness.hpp"
+#include "bench_json.hpp"
+
+namespace zstm::bench {
+
+struct FigureSpec {
+  const char* doc_name;   // bench_json document name, e.g. "fig6"
+  const char* headline;   // first printed line
+  const char* subtitle;   // second printed line
+  const char* ct_panel;   // Compute-Total panel title
+  bool update_total;      // Compute-Total writes the sink object
+};
+
+inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
+  const bool json = benchjson::json_requested(argc, argv);
+  const std::vector<std::string>& systems = api::variant_names();
+  std::printf("%s\n%s\n\n", spec.headline, spec.subtitle);
+
+  struct FigRow {
+    int threads;
+    std::vector<BankResult> results;  // one per variant, in variant order
+  };
+  std::vector<FigRow> rows;
+  for (int threads : {1, 2, 8, 16, 32}) {
+    BankParams p;
+    p.threads = threads;
+    p.duration = std::chrono::milliseconds(250);
+    p.update_total = spec.update_total;
+    FigRow row;
+    row.threads = threads;
+    for (const std::string& name : systems) {
+      row.results.push_back(run_named_bank(name, p));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const auto print_header = [&systems] {
+    std::printf("%8s", "threads");
+    for (const std::string& name : systems) {
+      std::printf(" %10s", name.c_str());
+    }
+    std::printf("\n");
+  };
+
+  std::printf("%s\n", spec.ct_panel);
+  print_header();
+  for (const auto& r : rows) {
+    std::printf("%8d", r.threads);
+    for (const auto& b : r.results) {
+      std::printf(" %10.1f", b.compute_total_per_s);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nTransfer transactions  [tx/s]\n");
+  print_header();
+  for (const auto& r : rows) {
+    std::printf("%8d", r.threads);
+    for (const auto& b : r.results) std::printf(" %10.0f", b.transfer_per_s);
+    std::printf("\n");
+  }
+
+  std::printf("\nCompute-Total failed episodes (attempt budget exhausted):\n");
+  print_header();
+  for (const auto& r : rows) {
+    std::printf("%8d", r.threads);
+    for (const auto& b : r.results) {
+      std::printf(" %10llu",
+                  static_cast<unsigned long long>(b.compute_total_failures));
+    }
+    std::printf("\n");
+  }
+
+  if (json) {
+    benchjson::Doc doc(spec.doc_name);
+    for (const auto& r : rows) {
+      for (std::size_t i = 0; i < systems.size(); ++i) {
+        const BankResult& b = r.results[i];
+        doc.row()
+            .str("system", systems[i].c_str())
+            .num("threads", r.threads)
+            .num("compute_total_per_s", b.compute_total_per_s)
+            .num("transfer_per_s", b.transfer_per_s)
+            .num("compute_total_failures", b.compute_total_failures);
+      }
+    }
+    if (!doc.write()) return 1;
+  }
+  return 0;
+}
+
+}  // namespace zstm::bench

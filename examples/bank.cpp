@@ -1,16 +1,18 @@
-// The paper's bank application (§5.5) as a standalone example.
+// The paper's bank application (§5.5) as a standalone example, now over
+// the unified façade: any runtime variant by name.
 //
 //   $ ./bank [threads] [seconds] [stm] [update]
-//     threads : worker count                     (default 4)
-//     seconds : run time                         (default 1)
-//     stm     : lsa | lsa-nrs | z                (default z)
-//     update  : ro | update  — Compute-Total     (default ro)
+//     threads : worker count                               (default 4)
+//     seconds : run time                                   (default 1)
+//     stm     : lsa | lsa-nors | cs-vc | cs-r | sstm | zl  (default z/zl)
+//     update  : ro | update  — Compute-Total               (default ro)
 //
 // Thread 0 mixes transfers (80%) with Compute-Total (20%); other threads
 // only transfer. Prints throughput, the conserved total, and STM stats.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "../bench/bank_harness.hpp"
@@ -20,7 +22,9 @@ int main(int argc, char** argv) {
   p.threads = argc > 1 ? std::atoi(argv[1]) : 4;
   const double seconds = argc > 2 ? std::atof(argv[2]) : 1.0;
   p.duration = std::chrono::milliseconds(static_cast<long>(seconds * 1000));
-  const std::string stm = argc > 3 ? argv[3] : "z";
+  std::string stm = argc > 3 ? argv[3] : "zl";
+  if (stm == "z") stm = "zl";            // old spelling
+  if (stm == "lsa-nrs") stm = "lsa-nors";  // old spelling
   p.update_total = argc > 4 && std::strcmp(argv[4], "update") == 0;
 
   if (p.threads < 1 || p.threads > 32) {
@@ -33,18 +37,11 @@ int main(int argc, char** argv) {
               p.update_total ? "update" : "read-only");
 
   zstm::bench::BankResult r;
-  if (stm == "lsa") {
-    zstm::bench::LsaBank bank(p, /*track_ro_readsets=*/true);
-    r = run_bank(bank, p);
-  } else if (stm == "lsa-nrs") {
-    zstm::bench::LsaBank bank(p, /*track_ro_readsets=*/false);
-    r = run_bank(bank, p);
-  } else if (stm == "z") {
-    zstm::bench::ZBank bank(p);
-    r = run_bank(bank, p);
-  } else {
-    std::fprintf(stderr, "unknown stm '%s' (lsa | lsa-nrs | z)\n",
-                 stm.c_str());
+  long conserved = 0;
+  try {
+    r = zstm::bench::run_named_bank(stm, p, &conserved);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
 
@@ -56,5 +53,7 @@ int main(int argc, char** argv) {
               r.compute_total_per_s,
               static_cast<unsigned long long>(r.compute_total_commits),
               static_cast<unsigned long long>(r.compute_total_failures));
-  return 0;
+  std::printf("  conserved total: %ld (expected %ld)\n", conserved,
+              1000L * p.accounts);
+  return conserved == 1000L * p.accounts ? 0 : 1;
 }

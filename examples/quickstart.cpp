@@ -1,33 +1,41 @@
 // Quickstart: the library's public API in one minute.
 //
-//   $ ./quickstart
+//   $ ./quickstart [runtime]        # lsa | lsa-nors | cs-vc | cs-r | sstm | zl
 //
-// Creates a Z-STM runtime, runs short transactions from two worker
-// threads, and a long transaction that snapshots everything consistently
-// without ever validating a read set.
+// Everything goes through the unified façade (zstm::api): pick a runtime
+// variant by name, create transactional variables, and run transactions —
+// no explicit thread attachment (each thread attaches implicitly on its
+// first transaction) and one TxKind enum instead of per-runtime entry
+// points. The default variant is Z-STM, whose long transactions snapshot
+// everything consistently without ever validating a read set.
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include "core/stm.hpp"
+#include "api/stm_api.hpp"
 
-int main() {
-  // 1. A runtime owns the transactional objects and all shared machinery.
-  zstm::zl::Runtime rt;
+int main(int argc, char** argv) {
+  using zstm::api::AnyStm;
+  using zstm::api::TxKind;
+
+  // 1. One façade over every runtime in the library; "zl" is Z-STM.
+  //    (Statically-typed alternative: zstm::api::Stm<zstm::zl::Runtime>.)
+  AnyStm stm = AnyStm::make(argc > 1 ? argv[1] : "zl");
 
   // 2. Transactional variables hold any copyable type.
-  auto counter = rt.make_var<long>(0);
-  auto label = rt.make_var<std::string>("start");
+  auto counter = stm.make_var<long>(0);
+  auto label = stm.make_var<std::string>("start");
 
-  // 3. Each worker thread attaches once and runs transactions. A body may
-  //    be re-executed on conflict — keep it free of side effects.
+  // 3. Worker threads just run transactions — the first one attaches the
+  //    thread. A body may be re-executed on conflict, so keep it free of
+  //    side effects; the TxAborted retry token must propagate out of it.
   std::vector<std::thread> workers;
   for (int t = 0; t < 2; ++t) {
-    workers.emplace_back([&rt, &counter, &label, t] {
-      auto th = rt.attach();
+    workers.emplace_back([&stm, &counter, &label, t] {
       for (int i = 0; i < 10000; ++i) {
-        rt.run_short(*th, [&](zstm::zl::ShortTx& tx) {
-          tx.write(counter) += 1;                 // read-modify-write
+        stm.run(TxKind::kUpdate, [&](auto& tx) {
+          tx.write(counter) += 1;  // read-modify-write
           if (tx.read(counter) % 5000 == 0) {
             tx.write(label, "thread " + std::to_string(t));
           }
@@ -37,18 +45,20 @@ int main() {
   }
   for (auto& w : workers) w.join();
 
-  // 4. Long transactions snapshot many objects consistently; Z-STM commits
-  //    them with a single counter check (no read-set validation).
-  auto th = rt.attach();
+  // 4. Long transactions snapshot many objects consistently; under Z-STM
+  //    they commit with a single counter check (no read-set validation).
+  //    On other variants TxKind::kLong runs an ordinary transaction.
   long final_count = 0;
   std::string final_label;
-  rt.run_long(*th, [&](zstm::zl::LongTx& tx) {
+  const zstm::api::RunResult res = stm.run(TxKind::kLong, [&](auto& tx) {
     final_count = tx.read(counter);
     final_label = tx.read(label);
   });
 
-  std::printf("counter = %ld (expected 20000)\n", final_count);
+  std::printf("runtime = %s\n", stm.name().c_str());
+  std::printf("counter = %ld (expected 20000, %u attempt%s)\n", final_count,
+              res.attempts, res.attempts == 1 ? "" : "s");
   std::printf("label   = \"%s\"\n", final_label.c_str());
-  std::printf("stats   : %s\n", rt.stats().to_string().c_str());
+  std::printf("stats   : %s\n", stm.stats().to_string().c_str());
   return final_count == 20000 ? 0 : 1;
 }

@@ -1,0 +1,70 @@
+// AnyStm: name resolution and the type-erased runtime wrappers. The five
+// Stm<R> instantiations behind the six variant names live in this TU so the
+// header stays light for zero-cost (template) users.
+#include "api/stm_api.hpp"
+
+#include <stdexcept>
+
+namespace zstm::api {
+namespace {
+
+/// Erased wrapper: AnyStm ops over a concrete Stm<R>. Each access crosses
+/// one function pointer (the price of run-time runtime selection).
+template <typename R>
+class AnyStmOf final : public detail::AnyStmBase {
+ public:
+  using Adapter = detail::Adapter<R>;
+  using NativeHandle = typename Adapter::Tx;
+
+  explicit AnyStmOf(const CommonConfig& cfg) : stm_(cfg) {}
+
+  void* make_object(runtime::Payload* initial) override {
+    return Adapter::make_object(stm_.runtime(), initial);
+  }
+
+  RunResult run(TxKind kind, FunctionRef<void(TxHandle&)> body,
+                std::uint32_t max_attempts) override {
+    return stm_.run(
+        kind,
+        [&](NativeHandle& native) {
+          TxHandle handle(&native, ops());
+          body(handle);
+        },
+        max_attempts);
+  }
+
+  util::StatsSnapshot stats() const override { return stm_.stats(); }
+  void reset_stats() override { stm_.reset_stats(); }
+  const CommonConfig& config() const override { return stm_.config(); }
+
+ private:
+  static const TxHandle::Ops* ops() {
+    static const TxHandle::Ops kOps{
+        [](void* tx, void* obj) -> const runtime::Payload& {
+          return static_cast<NativeHandle*>(tx)->read_object(obj);
+        },
+        [](void* tx, void* obj) -> runtime::Payload& {
+          return static_cast<NativeHandle*>(tx)->write_object(obj);
+        },
+        [](void* tx) { static_cast<NativeHandle*>(tx)->abort(); },
+    };
+    return &kOps;
+  }
+
+  Stm<R> stm_;
+};
+
+}  // namespace
+
+AnyStm AnyStm::make(std::string_view name, CommonConfig cfg) {
+  // One dispatch table for the whole library: visit_variant (stm_api.hpp).
+  return visit_variant(
+      name, cfg,
+      [](auto tag, const char* canonical, const CommonConfig& lowered) {
+        using S = typename decltype(tag)::type;  // Stm<R>
+        using R = typename S::Runtime;
+        return AnyStm(std::make_unique<AnyStmOf<R>>(lowered), canonical);
+      });
+}
+
+}  // namespace zstm::api

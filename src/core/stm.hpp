@@ -11,20 +11,25 @@
 //   zstm::sstm::Runtime      — S-STM, serializability (§4.2)
 //   zstm::zl::Runtime        — Z-STM, z-linearizability (Algorithms 2 & 3)
 //
-// Common usage pattern (see examples/quickstart.cpp):
+// The recommended entry point is the unified façade (api/stm_api.hpp):
+// every variant behind one interface, selected statically or by name, with
+// implicit per-thread attachment (see examples/quickstart.cpp):
 //
-//   zstm::zl::Runtime rt;
-//   auto acc = rt.make_var<long>(100);
-//   auto th = rt.attach();                      // per worker thread
-//   rt.run_short(*th, [&](zstm::zl::ShortTx& tx) {
+//   auto stm = zstm::api::AnyStm::make("zl");   // or api::Stm<R> statically
+//   auto acc = stm.make_var<long>(100);
+//   stm.run(zstm::api::TxKind::kUpdate, [&](auto& tx) {
 //     tx.write(acc, tx.read(acc) + 1);
 //   });
-//   rt.run_long(*th, [&](zstm::zl::LongTx& tx) {
+//   stm.run(zstm::api::TxKind::kLong, [&](auto& tx) {
 //     long total = tx.read(acc);
 //     ...
 //   });
+//
+// The per-runtime raw APIs (explicit attach(), native Tx types) remain
+// public and unchanged underneath.
 #pragma once
 
+#include "api/stm_api.hpp"       // IWYU pragma: export
 #include "cs/cs.hpp"             // IWYU pragma: export
 #include "history/checkers.hpp"  // IWYU pragma: export
 #include "lsa/lsa.hpp"           // IWYU pragma: export

@@ -40,9 +40,11 @@
 #include "history/recorder.hpp"
 #include "object/object_store.hpp"
 #include "runtime/payload.hpp"
+#include "runtime/run_result.hpp"
 #include "runtime/txdesc.hpp"
 #include "timebase/plausible_clock.hpp"
 #include "timebase/vector_clock.hpp"
+#include "util/align.hpp"
 #include "util/backoff.hpp"
 #include "util/ebr.hpp"
 #include "util/stats.hpp"
@@ -81,8 +83,12 @@ class RuntimeT {
     TxDesc(std::uint64_t id, int slot, Stamp initial)
         : TxDescBase(id, slot, runtime::TxClass::kShort),
           ct(std::move(initial)) {}
-    /// The evolving tentative commit timestamp T.ct; owned by the
-    /// transaction's thread until commit, then immutable.
+    /// The evolving tentative commit timestamp T.ct. Owner-thread-only for
+    /// the descriptor's whole lifetime: other threads must never read it
+    /// (versions carry their own stamp copies; the CM sees only
+    /// TxDescBase). finish_attempt moves the backing vector out into the
+    /// slot's spare buffer before retiring the descriptor (see
+    /// take_spare_stamp), so it is NOT immutable after commit.
     Stamp ct;
   };
 
@@ -205,6 +211,7 @@ class RuntimeT {
         epochs_(registry_),
         recorder_(cfg.record_history, cfg.max_threads),
         cm_(cm::make_manager(cfg.cm_policy)),
+        spare_ct_(static_cast<std::size_t>(registry_.capacity())),
         store_(pool_, epochs_, stats_, object::retention_policy(cfg)) {}
 
   RuntimeT(const RuntimeT&) = delete;
@@ -220,19 +227,27 @@ class RuntimeT {
         new ThreadCtx(*this, registry_.attach()));
   }
 
+  /// Retry loop; returns {attempts, committed = true} (see
+  /// runtime/run_result.hpp for the convention).
   template <typename F>
-  std::uint32_t run(ThreadCtx& ctx, F&& body) {
+  runtime::RunResult run(ThreadCtx& ctx, F&& body) {
     util::Backoff bo;
     for (std::uint32_t attempt = 1;; ++attempt) {
       Tx& tx = ctx.begin();
       try {
         body(tx);
         ctx.commit();
-        return attempt;
+        return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
       }
     }
+  }
+
+  /// Type-erased variable creation hook for the zstm::api façade (the
+  /// typed make_var above remains the primary path).
+  Object* allocate_object(runtime::Payload* initial) {
+    return store_.allocate(initial, domain_.zero());
   }
 
   const Config& config() const { return cfg_; }
@@ -283,6 +298,22 @@ class RuntimeT {
     return true;
   }
 
+  /// Per-slot recycled stamp storage (ROADMAP: pool cs::TxDesc's inner
+  /// vector-clock allocation). A descriptor's `ct` vector is moved back
+  /// here when the transaction finishes — before the descriptor is retired
+  /// through EBR, which is safe because `ct` is only ever accessed by the
+  /// owning thread (versions carry their own stamp copies; the CM sees only
+  /// TxDescBase) — and the next begin() on the slot moves it out again and
+  /// copy-assigns VCp into the retained capacity. Steady state: zero heap
+  /// allocations per transaction for descriptor clock storage. Slot-keyed,
+  /// so the buffers survive thread churn like the NodePool's free lists.
+  Stamp take_spare_stamp(int slot) {
+    return std::move(spare_ct_[static_cast<std::size_t>(slot)].value);
+  }
+  void put_spare_stamp(int slot, Stamp&& s) {
+    spare_ct_[static_cast<std::size_t>(slot)].value = std::move(s);
+  }
+
   static std::vector<std::uint64_t> stamp_to_vector(const Stamp& s) {
     std::vector<std::uint64_t> out;
     const int n = stamp_size(s);
@@ -304,6 +335,8 @@ class RuntimeT {
   std::unique_ptr<cm::ContentionManager> cm_;
   util::PaddedCounter tx_ids_;
   util::PaddedCounter ticks_;
+  /// Recycled per-slot TxDesc stamp buffers (see take_spare_stamp).
+  std::vector<util::Padded<Stamp>> spare_ct_;
   Store store_;
 };
 
@@ -317,8 +350,13 @@ typename RuntimeT<D>::Tx& RuntimeT<D>::ThreadCtx::begin() {
   const std::uint64_t id =
       rt_.tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
   // T.ct starts from VCp, the last committed timestamp of this thread
-  // (Algorithm 1 line 3).
-  tx_.desc_ = rt_.pool_.template create<TxDesc>(slot(), id, slot(), vcp_);
+  // (Algorithm 1 line 3). The stamp's backing vector is recycled through
+  // the slot's spare buffer: the copy-assign below reuses its capacity, so
+  // steady state performs no heap allocation here.
+  Stamp ct = rt_.take_spare_stamp(slot());
+  ct = vcp_;
+  tx_.desc_ =
+      rt_.pool_.template create<TxDesc>(slot(), id, slot(), std::move(ct));
   tx_.desc_->set_start_ticks(
       rt_.ticks_.value.fetch_add(1, std::memory_order_relaxed));
   epoch_guard_ = rt_.epochs_.pin_guard(slot());
@@ -349,6 +387,10 @@ void RuntimeT<D>::ThreadCtx::finish_attempt(bool committed) {
     if (committed) tx_.rec_.stamp = RuntimeT::stamp_to_vector(tx_.desc_->ct);
     rt_.recorder_.record(slot(), std::move(tx_.rec_));
   }
+  // Reclaim the descriptor's stamp storage before the descriptor goes
+  // through EBR (only this thread ever reads desc->ct; see
+  // take_spare_stamp). The retired descriptor destructs an empty vector.
+  rt_.put_spare_stamp(slot(), std::move(tx_.desc_->ct));
   if (rt_.pool_.enabled()) {
     rt_.epochs_.retire_raw(slot(), tx_.desc_,
                            &object::NodePool::template ebr_destroy<TxDesc>);

@@ -42,6 +42,7 @@
 #include "history/recorder.hpp"
 #include "object/object_store.hpp"
 #include "runtime/payload.hpp"
+#include "runtime/run_result.hpp"
 #include "runtime/txdesc.hpp"
 #include "timebase/scalar_timebase.hpp"
 #include "util/backoff.hpp"
@@ -271,16 +272,17 @@ class Runtime {
   std::unique_ptr<ThreadCtx> attach();
 
   /// Run `body` (callable taking Tx&) as a transaction, retrying with
-  /// backoff until it commits. Returns the number of attempts used.
+  /// backoff until it commits. Returns {attempts used, committed = true}
+  /// (the retry-loop convention of runtime/run_result.hpp).
   template <typename F>
-  std::uint32_t run(ThreadCtx& ctx, F&& body, bool read_only = false) {
+  runtime::RunResult run(ThreadCtx& ctx, F&& body, bool read_only = false) {
     util::Backoff bo;
     for (std::uint32_t attempt = 1;; ++attempt) {
       Tx& tx = ctx.begin(read_only);
       try {
         body(tx);
         ctx.commit();
-        return attempt;
+        return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
       }

@@ -1,0 +1,28 @@
+// The uniform retry-loop return convention shared by every `run` entry
+// point in this library (lsa/cs/sstm `Runtime::run`, zl `run_short`/
+// `run_long`, `zl::run_auto`, and the `zstm::api` façade).
+//
+// A `run` call executes its body inside a transaction attempt and retries
+// with backoff on abort. Unbounded loops always return `committed == true`
+// (they retry until the body commits); budgeted entry points (the façade's
+// `run(kind, body, max_attempts)`) report `committed == false` when the
+// attempt budget was exhausted — the caller decides whether the episode
+// counts as failed (the bank benchmark's abandoned Compute-Total) or is
+// retried later. `attempts` counts every attempt including the final one.
+//
+// The abort-exception contract itself (TxAborted must propagate out of the
+// body) is documented once in api/stm_api.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace zstm::runtime {
+
+struct RunResult {
+  /// Attempts used, including the committing (or final failed) one.
+  std::uint32_t attempts = 0;
+  /// True iff the last attempt committed.
+  bool committed = false;
+};
+
+}  // namespace zstm::runtime

@@ -44,6 +44,7 @@
 #include "history/recorder.hpp"
 #include "object/object_store.hpp"
 #include "runtime/payload.hpp"
+#include "runtime/run_result.hpp"
 #include "runtime/txdesc.hpp"
 #include "timebase/vector_clock.hpp"
 #include "util/backoff.hpp"
@@ -234,19 +235,26 @@ class Runtime {
 
   std::unique_ptr<ThreadCtx> attach();
 
+  /// Retry loop; returns {attempts, committed = true} (see
+  /// runtime/run_result.hpp for the convention).
   template <typename F>
-  std::uint32_t run(ThreadCtx& ctx, F&& body) {
+  runtime::RunResult run(ThreadCtx& ctx, F&& body) {
     util::Backoff bo;
     for (std::uint32_t attempt = 1;; ++attempt) {
       Tx& tx = ctx.begin();
       try {
         body(tx);
         ctx.commit();
-        return attempt;
+        return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
       }
     }
+  }
+
+  /// Type-erased variable creation hook for the zstm::api façade.
+  Object* allocate_object(runtime::Payload* initial) {
+    return store_.allocate(initial, domain_.zero());
   }
 
   const Config& config() const { return cfg_; }

@@ -180,16 +180,16 @@ class CountingProbe {
 };
 
 /// Run `body` (callable taking AutoTx&) at `site`, letting the classifier
-/// pick the transaction class from the site's history. Returns the number
-/// of attempts used.
+/// pick the transaction class from the site's history. Returns {attempts,
+/// committed = true} (the retry-loop convention of runtime/run_result.hpp).
 template <typename F>
-std::uint32_t run_auto(Runtime& rt, ThreadCtx& ctx, AutoClassifier& cls,
-                       int site, F&& body) {
+runtime::RunResult run_auto(Runtime& rt, ThreadCtx& ctx, AutoClassifier& cls,
+                            int site, F&& body) {
   const bool as_long = cls.classify_long(site);
   std::uint64_t opens = 0;
-  std::uint32_t attempts;
+  runtime::RunResult result;
   if (as_long) {
-    attempts = rt.run_long(ctx, [&](LongTx& tx) {
+    result = rt.run_long(ctx, [&](LongTx& tx) {
       opens = 0;
       AutoTx facade(tx);
       CountingProbe probe(&opens, tx.descriptor());
@@ -197,7 +197,7 @@ std::uint32_t run_auto(Runtime& rt, ThreadCtx& ctx, AutoClassifier& cls,
       opens = probe.opens();
     });
   } else {
-    attempts = rt.run_short(ctx, [&](ShortTx& tx) {
+    result = rt.run_short(ctx, [&](ShortTx& tx) {
       opens = 0;
       AutoTx facade(tx);
       CountingProbe probe(&opens, tx.inner().descriptor());
@@ -205,8 +205,8 @@ std::uint32_t run_auto(Runtime& rt, ThreadCtx& ctx, AutoClassifier& cls,
       opens = probe.opens();
     });
   }
-  cls.record(site, opens, attempts - 1, as_long);
-  return attempts;
+  cls.record(site, opens, result.attempts - 1, as_long);
+  return result;
 }
 
 }  // namespace zstm::zl

@@ -102,6 +102,19 @@ void ShortTx::check_zone(lsa::Object& o) {
   }
 }
 
+const runtime::Payload& ShortTx::read_object(lsa::Object& o) {
+  check_zone(o);
+  return inner_->read_object(o);
+}
+
+runtime::Payload& ShortTx::write_object(lsa::Object& o) {
+  check_zone(o);
+  runtime::Payload& p = inner_->write_object(o);
+  // Same zone-check/install race closure as the typed write() path.
+  verify_zone_after_write(o);
+  return p;
+}
+
 void ShortTx::verify_zone_after_write(lsa::Object& o) {
   Runtime& rt = ctx_.rt_;
   // seq_cst load after our seq_cst locator install (in lsa::Tx::
@@ -125,6 +138,11 @@ void ShortTx::verify_zone_after_write(lsa::Object& o) {
 // --- long transactions -------------------------------------------------------
 
 LongTx& ThreadCtx::begin_long() {
+  // A previous attempt abandoned mid-body (foreign exception escaping the
+  // user code) must be aborted first, like every short-transaction begin()
+  // does — otherwise its still-active descriptor and installed locators
+  // leak (the run-entry-point contract in api/stm_api.hpp).
+  if (long_tx_.desc_ != nullptr) abort_long_attempt();
   LongTx& tx = long_tx_;
   lsa::Runtime& sub = rt_.lsa_;
   const int s = slot();

@@ -134,6 +134,11 @@ class ShortTx {
   bool zone_assigned() const { return !first_open_pending_; }
   lsa::Tx& inner() { return *inner_; }
 
+  // Object-level API (used by the zstm::api façade and by tests); same
+  // zone-check/open/verify sequence as the typed read/write above.
+  const runtime::Payload& read_object(lsa::Object& o);
+  runtime::Payload& write_object(lsa::Object& o);
+
  private:
   friend class ThreadCtx;
   explicit ShortTx(ThreadCtx& ctx) : ctx_(ctx) {}
@@ -197,36 +202,43 @@ class Runtime {
 
   std::unique_ptr<ThreadCtx> attach();
 
-  /// Retry loop for short transactions; returns attempts used.
+  /// Retry loop for short transactions; returns {attempts, committed =
+  /// true} (see runtime/run_result.hpp for the convention).
   template <typename F>
-  std::uint32_t run_short(ThreadCtx& ctx, F&& body, bool read_only = false) {
+  runtime::RunResult run_short(ThreadCtx& ctx, F&& body,
+                               bool read_only = false) {
     util::Backoff bo;
     for (std::uint32_t attempt = 1;; ++attempt) {
       ShortTx& tx = ctx.begin_short(read_only);
       try {
         body(tx);
         ctx.commit_short();
-        return attempt;
+        return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
       }
     }
   }
 
-  /// Retry loop for long transactions; returns attempts used.
+  /// Retry loop for long transactions; returns {attempts, committed = true}.
   template <typename F>
-  std::uint32_t run_long(ThreadCtx& ctx, F&& body) {
+  runtime::RunResult run_long(ThreadCtx& ctx, F&& body) {
     util::Backoff bo;
     for (std::uint32_t attempt = 1;; ++attempt) {
       LongTx& tx = ctx.begin_long();
       try {
         body(tx);
         ctx.commit_long();
-        return attempt;
+        return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
       }
     }
+  }
+
+  /// Type-erased variable creation hook for the zstm::api façade.
+  lsa::Object* allocate_object(runtime::Payload* initial) {
+    return lsa_.allocate_object(initial);
   }
 
   /// ZC, the global zone counter (last zone number handed out).

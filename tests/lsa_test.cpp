@@ -108,11 +108,12 @@ TEST(Lsa, RunReportsAttempts) {
   auto x = rt.make_var<int>(0);
   auto th = rt.attach();
   int tries = 0;
-  const std::uint32_t attempts = rt.run(*th, [&](Tx& tx) {
+  const runtime::RunResult result = rt.run(*th, [&](Tx& tx) {
     tx.write(x, 1);
     if (++tries < 3) tx.abort();
   });
-  EXPECT_EQ(attempts, 3u);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_TRUE(result.committed);
 }
 
 TEST(Lsa, FirstCommitterWinsOnReadWriteConflict) {
@@ -330,9 +331,9 @@ TEST(Lsa, DeclaredReadOnlyThatWritesIsPromoted) {
   Runtime rt(cfg);
   auto x = rt.make_var<int>(0);
   auto th = rt.attach();
-  const std::uint32_t attempts = rt.run(
+  const runtime::RunResult result = rt.run(
       *th, [&](Tx& tx) { tx.write(x, 1); }, /*read_only=*/true);
-  EXPECT_EQ(attempts, 2u);  // one aborted fast-path attempt + one tracked
+  EXPECT_EQ(result.attempts, 2u);  // one aborted fast-path attempt + one tracked
   int seen = 0;
   rt.run(*th, [&](Tx& tx) { seen = tx.read(x); });
   EXPECT_EQ(seen, 1);

@@ -1,7 +1,8 @@
-// Smoke canary: instantiate each of the four runtimes (five entry points —
-// CS-STM comes in vector-clock and plausible-clock flavours) and commit one
-// transaction apiece. CTest labels this suite `smoke` so CI can gate on it
-// before the slow stress suites run.
+// Smoke canary: commit one transaction on every runtime variant through
+// the unified façade — statically via api::Stm<R> (zero-cost adapters) and
+// by name via api::AnyStm (all six variant names, covering the five
+// runtimes). CTest labels this suite `smoke` so CI can gate on it before
+// the slow stress suites run.
 #include <gtest/gtest.h>
 
 #include "core/stm.hpp"
@@ -9,45 +10,66 @@
 namespace zstm {
 namespace {
 
-TEST(Smoke, LsaCommitsOneTransaction) {
-  lsa::Runtime rt;
-  auto x = rt.make_var<int>(1);
-  auto th = rt.attach();
-  rt.run(*th, [&](lsa::Tx& tx) { tx.write(x, tx.read(x) + 1); });
-  rt.run(*th, [&](lsa::Tx& tx) { EXPECT_EQ(tx.read(x), 2); });
+using api::TxKind;
+
+template <typename S>
+void commit_one(S& stm) {
+  auto x = stm.make_var(1);
+  stm.run(TxKind::kUpdate, [&](auto& tx) { tx.write(x, tx.read(x) + 1); });
+  stm.run(TxKind::kLongUpdate,
+          [&](auto& tx) { tx.write(x) = tx.read(x) + 1; });
+  stm.run(TxKind::kReadOnly, [&](auto& tx) { EXPECT_EQ(tx.read(x), 3); });
+  stm.run(TxKind::kLong, [&](auto& tx) { EXPECT_EQ(tx.read(x), 3); });
 }
 
-TEST(Smoke, CsVectorClockCommitsOneTransaction) {
-  auto rt = cs::make_vc_runtime();
-  auto x = rt->make_var<int>(1);
-  auto th = rt->attach();
-  rt->run(*th, [&](cs::VcRuntime::Tx& tx) { tx.write(x, tx.read(x) + 1); });
-  rt->run(*th, [&](cs::VcRuntime::Tx& tx) { EXPECT_EQ(tx.read(x), 2); });
+TEST(Smoke, LsaCommitsThroughFacade) {
+  api::LsaStm stm;
+  commit_one(stm);
 }
 
-TEST(Smoke, CsPlausibleClockCommitsOneTransaction) {
-  auto rt = cs::make_rev_runtime(/*entries=*/2);
-  auto x = rt->make_var<int>(1);
-  auto th = rt->attach();
-  rt->run(*th, [&](cs::RevRuntime::Tx& tx) { tx.write(x, tx.read(x) + 1); });
-  rt->run(*th, [&](cs::RevRuntime::Tx& tx) { EXPECT_EQ(tx.read(x), 2); });
+TEST(Smoke, CsVectorClockCommitsThroughFacade) {
+  api::CsVcStm stm;
+  commit_one(stm);
 }
 
-TEST(Smoke, SstmCommitsOneTransaction) {
-  sstm::Runtime rt;
-  auto x = rt.make_var<int>(1);
-  auto th = rt.attach();
-  rt.run(*th, [&](sstm::Tx& tx) { tx.write(x, tx.read(x) + 1); });
-  rt.run(*th, [&](sstm::Tx& tx) { EXPECT_EQ(tx.read(x), 2); });
+TEST(Smoke, CsPlausibleClockCommitsThroughFacade) {
+  api::CommonConfig cfg;
+  cfg.plausible_entries = 2;
+  api::CsRevStm stm(cfg);
+  commit_one(stm);
 }
 
-TEST(Smoke, ZstmCommitsShortAndLongTransactions) {
+TEST(Smoke, SstmCommitsThroughFacade) {
+  api::SStm stm;
+  commit_one(stm);
+}
+
+TEST(Smoke, ZstmCommitsShortAndLongThroughFacade) {
+  api::ZStm stm;
+  commit_one(stm);
+}
+
+TEST(Smoke, EveryNamedVariantCommits) {
+  for (const std::string& name : api::AnyStm::variant_names()) {
+    SCOPED_TRACE(name);
+    api::AnyStm stm = api::AnyStm::make(name);
+    commit_one(stm);
+    EXPECT_EQ(stm.name(), name);
+    EXPECT_GE(stm.stats()[util::Counter::kCommits], 4u);
+  }
+}
+
+// The raw per-runtime APIs stay public and unchanged underneath the
+// façade; keep one raw-API commit in the canary.
+TEST(Smoke, RawRuntimeApiStillWorks) {
   zl::Runtime rt;
   auto x = rt.make_var<int>(1);
   auto th = rt.attach();
-  rt.run_short(*th, [&](zl::ShortTx& tx) { tx.write(x, tx.read(x) + 1); });
-  rt.run_long(*th, [&](zl::LongTx& tx) { tx.write(x) = tx.read(x) + 1; });
-  rt.run_short(*th, [&](zl::ShortTx& tx) { EXPECT_EQ(tx.read(x), 3); });
+  const runtime::RunResult r =
+      rt.run_short(*th, [&](zl::ShortTx& tx) { tx.write(x, tx.read(x) + 1); });
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(r.attempts, 1u);
+  rt.run_long(*th, [&](zl::LongTx& tx) { EXPECT_EQ(tx.read(x), 2); });
 }
 
 }  // namespace

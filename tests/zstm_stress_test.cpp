@@ -214,10 +214,10 @@ TEST(ZStress, LongUpdateNeverStarvesUnderTransferStorm) {
   std::uint64_t total_attempts = 0;
   for (int i = 0; i < 25; ++i) {
     total_attempts += rt.run_long(*th, [&](LongTx& tx) {
-      long total = 0;
-      for (auto& a : accounts) total += tx.read(a);
-      tx.write(sink, total);
-    });
+                          long total = 0;
+                          for (auto& a : accounts) total += tx.read(a);
+                          tx.write(sink, total);
+                        }).attempts;
   }
   stop.store(true, std::memory_order_release);
   for (auto& h : hammers) h.join();

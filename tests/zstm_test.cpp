@@ -314,12 +314,12 @@ TEST(ZLong, UpdateLongTransactionWithPrivateStateCommits) {
   auto result = rt.make_var<long>(0);
   auto th = rt.attach();
 
-  const std::uint32_t attempts = rt.run_long(*th, [&](LongTx& tx) {
+  const runtime::RunResult res = rt.run_long(*th, [&](LongTx& tx) {
     long total = 0;
     for (auto& acc : accounts) total += tx.read(acc);
     tx.write(result, total);
   });
-  EXPECT_EQ(attempts, 1u);
+  EXPECT_EQ(res.attempts, 1u);
   rt.run_short(*th, [&](ShortTx& tx) {
     EXPECT_EQ(tx.read(result), kAccounts * 5);
   });
