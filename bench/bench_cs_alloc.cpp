@@ -12,9 +12,11 @@
 //                per-slot spare-stamp recycling, steady state performs ~0
 //                heap allocations per transaction (descriptor + its clock
 //                both come from recycled storage).
-//   update     — two writes per transaction. Each written version still
-//                carries its own freshly allocated stamp vector (~2
-//                allocs/txn); the descriptor's stamp no longer adds one.
+//   update     — two writes per transaction. Written versions' stamp
+//                vectors draw from the slab pool too (PoolAllocator), so
+//                pooled updates are also ~0 allocs/txn in steady state;
+//                the bench exits nonzero if they regress above
+//                kMaxPooledUpdateAllocs.
 //
 // Modes: pooled (Config defaults) vs heap (use_node_pool = false, the
 // ZSTM_POOL=0 path) — the heap rows also pay one malloc per
@@ -26,6 +28,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -164,11 +167,29 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.commits));
   }
   std::printf(
-      "\nExpected: pooled read-only rows show allocs/txn ~= 0 (descriptor\n"
-      "nodes come from the slab pool, their vector-clock storage from the\n"
-      "per-slot spare buffer); pooled update rows ~= 2 (one stamp vector\n"
-      "per written version — the remaining hidden malloc). Heap rows pay\n"
-      "additionally one malloc per locator/version/descriptor node.\n");
+      "\nExpected: pooled rows show allocs/txn ~= 0 — descriptor and\n"
+      "locator/version nodes come from the slab pool, their vector-clock\n"
+      "storage from the per-slot spare buffer (read path) or the\n"
+      "PoolAllocator-backed stamp (write path). Heap rows pay one malloc\n"
+      "per locator/version/descriptor node plus one per stamp vector.\n");
+
+  // Gate: the PoolAllocator change took pooled updates from ~2 stamp
+  // mallocs per transaction to ~0; fail loudly if that regresses. The
+  // threshold leaves headroom for slab carving and warmup stragglers.
+  // Skipped when ZSTM_POOL=0 forces every row onto the heap.
+  constexpr double kMaxPooledUpdateAllocs = 0.75;
+  bool regressed = false;
+  if (zstm::object::NodePool::env_enabled()) {
+    for (const Row& r : rows) {
+      if (std::string_view(r.mode) == "pooled" &&
+          std::string_view(r.workload) == "update" &&
+          r.allocs_per_txn > kMaxPooledUpdateAllocs) {
+        std::printf("FAIL: pooled update threads=%d allocs/txn=%.3f > %.2f\n",
+                    r.threads, r.allocs_per_txn, kMaxPooledUpdateAllocs);
+        regressed = true;
+      }
+    }
+  }
 
   if (json) {
     zstm::benchjson::Doc doc("cs_alloc");
@@ -183,5 +204,5 @@ int main(int argc, char** argv) {
     }
     if (!doc.write()) return 1;
   }
-  return 0;
+  return regressed ? 1 : 0;
 }

@@ -4,7 +4,7 @@
 //   $ ./bank [threads] [seconds] [stm] [update]
 //     threads : worker count                               (default 4)
 //     seconds : run time                                   (default 1)
-//     stm     : lsa | lsa-nors | cs-vc | cs-r | sstm | zl  (default z/zl)
+//     stm     : lsa | lsa-nors | cs-vc | cs-r | sstm | zl | tl2  (default z/zl)
 //     update  : ro | update  — Compute-Total               (default ro)
 //
 // Thread 0 mixes transfers (80%) with Compute-Total (20%); other threads

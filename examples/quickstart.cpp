@@ -1,6 +1,6 @@
 // Quickstart: the library's public API in one minute.
 //
-//   $ ./quickstart [runtime]        # lsa | lsa-nors | cs-vc | cs-r | sstm | zl
+//   $ ./quickstart [runtime]        # lsa | lsa-nors | cs-vc | cs-r | sstm | zl | tl2
 //
 // Everything goes through the unified façade (zstm::api): pick a runtime
 // variant by name, create transactional variables, and run transactions —
@@ -9,7 +9,6 @@
 // points. The default variant is Z-STM, whose long transactions snapshot
 // everything consistently without ever validating a read set.
 #include <cstdio>
-#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,9 +22,15 @@ int main(int argc, char** argv) {
   //    (Statically-typed alternative: zstm::api::Stm<zstm::zl::Runtime>.)
   AnyStm stm = AnyStm::make(argc > 1 ? argv[1] : "zl");
 
-  // 2. Transactional variables hold any copyable type.
+  // 2. Transactional variables hold any copyable type on the object-based
+  //    runtimes. The word-granularity "tl2" runtime stores values in raw
+  //    words, so it requires trivially copyable types (≤ 224 bytes) — this
+  //    example uses a POD label so it runs on every variant.
+  struct Label {
+    char text[24];
+  };
   auto counter = stm.make_var<long>(0);
-  auto label = stm.make_var<std::string>("start");
+  auto label = stm.make_var<Label>(Label{"start"});
 
   // 3. Worker threads just run transactions — the first one attaches the
   //    thread. A body may be re-executed on conflict, so keep it free of
@@ -37,7 +42,9 @@ int main(int argc, char** argv) {
         stm.run(TxKind::kUpdate, [&](auto& tx) {
           tx.write(counter) += 1;  // read-modify-write
           if (tx.read(counter) % 5000 == 0) {
-            tx.write(label, "thread " + std::to_string(t));
+            Label l{};
+            std::snprintf(l.text, sizeof l.text, "thread %d", t);
+            tx.write(label, l);
           }
         });
       }
@@ -49,7 +56,7 @@ int main(int argc, char** argv) {
   //    they commit with a single counter check (no read-set validation).
   //    On other variants TxKind::kLong runs an ordinary transaction.
   long final_count = 0;
-  std::string final_label;
+  Label final_label{};
   const zstm::api::RunResult res = stm.run(TxKind::kLong, [&](auto& tx) {
     final_count = tx.read(counter);
     final_label = tx.read(label);
@@ -58,7 +65,7 @@ int main(int argc, char** argv) {
   std::printf("runtime = %s\n", stm.name().c_str());
   std::printf("counter = %ld (expected 20000, %u attempt%s)\n", final_count,
               res.attempts, res.attempts == 1 ? "" : "s");
-  std::printf("label   = \"%s\"\n", final_label.c_str());
+  std::printf("label   = \"%s\"\n", final_label.text);
   std::printf("stats   : %s\n", stm.stats().to_string().c_str());
   return final_count == 20000 ? 0 : 1;
 }

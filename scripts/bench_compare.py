@@ -57,12 +57,27 @@ def main():
     if base_host != cur_host:
         print(f"  note: hosts differ: {base_host} vs {cur_host}")
 
+    # Values each identity field takes across the current rows: lets us
+    # distinguish "this run dropped a row" from "the baseline knows a
+    # variant this binary doesn't have" (older binaries vs a baseline that
+    # gained rows for a new variant — tolerated, reported informationally).
+    cur_field_values = {}
+    for key in cur_rows:
+        for k, v in key:
+            cur_field_values.setdefault(k, set()).add(v)
+
     matched = 0
     for key, base in base_rows.items():
         cur = cur_rows.get(key)
         label = " ".join(f"{k}={v}" for k, v in key) or "(row)"
         if cur is None:
-            print(f"  {label}: missing from current run")
+            unknown = [f"{k}={v}" for k, v in key
+                       if k in cur_field_values and v not in cur_field_values[k]]
+            if unknown:
+                print(f"  {label}: baseline-only variant "
+                      f"({', '.join(unknown)} absent from current run)")
+            else:
+                print(f"  {label}: missing from current run")
             continue
         matched += 1
         deltas = []

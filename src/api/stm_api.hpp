@@ -1,4 +1,4 @@
-// zstm::api — the unified front-end over all five runtime variants.
+// zstm::api — the unified front-end over all six runtime variants.
 //
 // The paper's whole point is comparing one workload across consistency
 // criteria (LSA vs CS vs S vs Z), yet the raw runtimes expose five different
@@ -15,8 +15,8 @@
 //     handle type is runtime-specific, so generic callers take it as
 //     `auto&` and the calls compile down to the native ones.
 //   * `AnyStm` — a type-erased runtime selected *by name* at run time:
-//     `AnyStm::make("lsa" | "lsa-nors" | "cs-vc" | "cs-r" | "sstm" | "zl",
-//     CommonConfig)`. Bodies receive the concrete `TxHandle`; variables are
+//     `AnyStm::make("lsa" | "lsa-nors" | "cs-vc" | "cs-r" | "sstm" | "zl" |
+//     "tl2", CommonConfig)`. Bodies receive the concrete `TxHandle`; variables are
 //     `AnyVar<T>`. One indirect call per access — the price of a
 //     `--runtime=` flag instead of a compiled-in benchmark matrix.
 //
@@ -65,6 +65,7 @@
 #include "lsa/lsa.hpp"
 #include "runtime/run_result.hpp"
 #include "sstm/sstm.hpp"
+#include "tl2/tl2.hpp"
 #include "util/backoff.hpp"
 #include "zstm/zstm.hpp"
 
@@ -388,6 +389,43 @@ struct Adapter<zl::Runtime> {
   }
 };
 
+template <>
+struct Adapter<tl2::Runtime> {
+  using Runtime = tl2::Runtime;
+  using Ctx = tl2::ThreadCtx;
+  template <typename T>
+  using Var = tl2::Var<T>;
+  using Object = tl2::Object;
+  using Tx = BasicTx<tl2::Tx, Object>;
+
+  static const char* name() { return "tl2"; }
+
+  /// tl2 is word-granularity with no versions, retention, or contention
+  /// manager; only the threading/pool/history knobs lower.
+  static std::unique_ptr<Runtime> create(const CommonConfig& c) {
+    tl2::Config cfg;
+    cfg.max_threads = c.max_threads;
+    cfg.use_node_pool = c.use_node_pool;
+    cfg.record_history = c.record_history;
+    return std::make_unique<Runtime>(cfg);
+  }
+  static std::unique_ptr<Ctx> attach(Runtime& rt) { return rt.attach(); }
+  static void* make_object(Runtime& rt, runtime::Payload* initial) {
+    return rt.allocate_object(initial);
+  }
+
+  /// One transaction class; an empty write set makes a commit read-only
+  /// automatically, so the kind only passes the advisory flag through.
+  static tl2::Tx& begin_native(Ctx& ctx, TxKind kind) {
+    return ctx.begin(kind == TxKind::kReadOnly || kind == TxKind::kLong);
+  }
+
+  template <typename F>
+  static bool attempt(Runtime&, Ctx& ctx, TxKind kind, F&& body) {
+    return basic_attempt<Adapter, tl2::TxAborted>(ctx, kind, body);
+  }
+};
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -594,6 +632,7 @@ using CsVcStm = Stm<cs::VcRuntime>;
 using CsRevStm = Stm<cs::RevRuntime>;
 using SStm = Stm<sstm::Runtime>;
 using ZStm = Stm<zl::Runtime>;
+using Tl2Stm = Stm<tl2::Runtime>;
 
 // ---------------------------------------------------------------------------
 // By-name variant dispatch — THE one mapping from names to runtimes.
@@ -605,7 +644,7 @@ using ZStm = Stm<zl::Runtime>;
 /// The canonical variant names, in the order the paper's figures use.
 inline const std::vector<std::string>& variant_names() {
   static const std::vector<std::string> kVariantNames{
-      "lsa", "lsa-nors", "cs-vc", "cs-r", "sstm", "zl"};
+      "lsa", "lsa-nors", "cs-vc", "cs-r", "sstm", "zl", "tl2"};
   return kVariantNames;
 }
 
@@ -634,9 +673,12 @@ decltype(auto) visit_variant(std::string_view name, CommonConfig cfg,
   if (name == "zl") {
     return fn(std::type_identity<ZStm>{}, "zl", cfg);
   }
+  if (name == "tl2") {
+    return fn(std::type_identity<Tl2Stm>{}, "tl2", cfg);
+  }
   throw std::invalid_argument(
       "unknown STM variant '" + std::string(name) +
-      "' (expected lsa | lsa-nors | cs-vc | cs-r | sstm | zl)");
+      "' (expected lsa | lsa-nors | cs-vc | cs-r | sstm | zl | tl2)");
 }
 
 // ---------------------------------------------------------------------------
@@ -740,7 +782,7 @@ class AnyStm {
 
   /// Resolve a runtime variant by name (the visit_variant mapping):
   ///   "lsa" | "lsa-nors" (alias "lsa-no-readsets") | "cs-vc" | "cs-r" |
-  ///   "sstm" | "zl"
+  ///   "sstm" | "zl" | "tl2"
   /// Throws std::invalid_argument for unknown names.
   static AnyStm make(std::string_view name, CommonConfig cfg = {});
 

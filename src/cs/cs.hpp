@@ -516,7 +516,12 @@ runtime::Payload& RuntimeT<D>::Tx::write_object(Object& o) {
     }
     Version* base = l->committed;
     desc_->ct.merge(base->ct);  // line 8 applies to writes as well
-    Version* tent = rt.store_.clone_version(s, *base->data, rt.domain_.zero());
+    // The written version's stamp storage comes from the slab pool too
+    // (PoolAllocator): this was the last hidden per-commit heap malloc on
+    // the update path — see bench_cs_alloc.
+    Version* tent = rt.store_.clone_version(
+        s, *base->data,
+        rt.domain_.zero_in(rt.pool_.enabled() ? &rt.pool_ : nullptr, s));
     tent->prev.store(base, std::memory_order_relaxed);
     if (rt.recorder_.enabled()) tent->vid = rt.recorder_.new_version_id();
     if (rt.store_.install(o, l, desc_, tent, s)) {

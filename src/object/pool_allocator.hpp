@@ -1,0 +1,91 @@
+// PoolAllocator — a std::allocator-compatible front over NodePool, so
+// standard containers embedded in pooled nodes (e.g. the vector-clock
+// storage inside a written version's stamp, cs.hpp's last hidden
+// per-commit malloc) draw their storage from the slab pool instead of the
+// global heap.
+//
+// Semantics:
+//
+//  * A default-constructed (null-pool) allocator is a plain heap
+//    passthrough — value types stay usable in tests and in runtimes built
+//    with pooling disabled.
+//  * allocate() goes through NodePool::allocate with the slot captured at
+//    construction; blocks too large for any size class degrade to
+//    individually-allocated oversize blocks inside the pool (still freed
+//    through release_block), so no size bookkeeping leaks into callers.
+//  * deallocate() uses the static NodePool::release_block with slot −1:
+//    pooled blocks are self-describing (header carries pool + owner), and
+//    −1 routes the block to its owner's MPSC return stack, which is safe
+//    from ANY thread — required because pooled nodes are reclaimed by EBR
+//    from whichever thread flushes its retire list.
+//  * Propagation traits are all false and copies share the source's pool
+//    binding: a container's allocator identity is fixed at construction,
+//    so memory is always freed by an allocator equal to the one that
+//    allocated it (heap memory by a null-pool copy, pool memory by a
+//    bound copy). Copy-assignment between containers with different
+//    allocators therefore reuses the target's existing storage — exactly
+//    what the cs commit path's `tentative->ct = desc->ct` wants.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+#include "object/node_pool.hpp"
+
+namespace zstm::object {
+
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::false_type;
+  using propagate_on_container_swap = std::false_type;
+  using is_always_equal = std::false_type;
+
+  static_assert(alignof(T) <= NodePool::kNodeAlign,
+                "pooled element type over-aligned for the slab layout");
+
+  PoolAllocator() noexcept = default;
+  PoolAllocator(NodePool* pool, int slot) noexcept
+      : pool_(pool), slot_(slot) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) noexcept
+      : pool_(other.pool()), slot_(other.slot()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (pool_ != nullptr) {
+      return static_cast<T*>(pool_->allocate(slot_, bytes));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (pool_ != nullptr) {
+      // Slot −1: never touches a local free list, safe from any thread.
+      NodePool::release_block(p, -1);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  NodePool* pool() const noexcept { return pool_; }
+  int slot() const noexcept { return slot_; }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const noexcept {
+    return pool_ == other.pool();
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>& other) const noexcept {
+    return !(*this == other);
+  }
+
+ private:
+  NodePool* pool_ = nullptr;
+  int slot_ = -1;
+};
+
+}  // namespace zstm::object

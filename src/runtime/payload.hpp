@@ -35,6 +35,15 @@ class Payload {
   /// clone(). An inline copy is destroyed with ~Payload(), never delete.
   virtual Payload* clone_into(void* buf, std::size_t cap) const = 0;
 
+  /// Raw view of the value bytes, non-null only for trivially copyable
+  /// values (whose object representation fully determines them). Word-
+  /// granularity runtimes (tl2) use it to move value bytes between payload
+  /// buffers and raw memory words without knowing T.
+  virtual const void* raw_bytes() const { return nullptr; }
+  virtual void* raw_bytes() { return nullptr; }
+  /// Size of the raw_bytes() view; 0 when raw_bytes() is null.
+  virtual std::size_t raw_size() const { return 0; }
+
  protected:
   Payload() = default;
   Payload(const Payload&) = default;
@@ -60,6 +69,19 @@ class TypedPayload final : public Payload {
       (void)cap;
       return nullptr;
     }
+  }
+
+  const void* raw_bytes() const override {
+    if constexpr (std::is_trivially_copyable_v<T>) return &value_;
+    return nullptr;
+  }
+  void* raw_bytes() override {
+    if constexpr (std::is_trivially_copyable_v<T>) return &value_;
+    return nullptr;
+  }
+  std::size_t raw_size() const override {
+    if constexpr (std::is_trivially_copyable_v<T>) return sizeof(T);
+    return 0;
   }
 
   const T& value() const { return value_; }

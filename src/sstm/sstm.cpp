@@ -419,7 +419,11 @@ runtime::Payload& Tx::write_object(Object& o) {
     Version* base = l->committed;
     desc_->ct.merge(base->ct);
     absorb_past_readers(base);
-    Version* tent = rt.store_.clone_version(s, *base->data, rt.domain_.zero());
+    // Pool-backed stamp storage, mirroring cs.hpp: keeps the update path
+    // free of hidden per-commit heap mallocs.
+    Version* tent = rt.store_.clone_version(
+        s, *base->data,
+        rt.domain_.zero_in(rt.pool_.enabled() ? &rt.pool_ : nullptr, s));
     tent->prev.store(base, std::memory_order_relaxed);
     if (rt.recorder_.enabled()) tent->vid = rt.recorder_.new_version_id();
     if (rt.store_.install(o, l, desc_, tent, s)) {

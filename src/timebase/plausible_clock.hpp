@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "object/pool_allocator.hpp"
 #include "timebase/clock_order.hpp"
 #include "util/align.hpp"
 
@@ -27,9 +28,11 @@ namespace zstm::timebase {
 
 class RevStamp {
  public:
+  using Alloc = object::PoolAllocator<std::uint64_t>;
+
   RevStamp() = default;
-  explicit RevStamp(int entries)
-      : components_(static_cast<std::size_t>(entries), 0) {}
+  explicit RevStamp(int entries, const Alloc& alloc = Alloc())
+      : components_(static_cast<std::size_t>(entries), 0, alloc) {}
 
   int entries() const { return static_cast<int>(components_.size()); }
 
@@ -56,7 +59,7 @@ class RevStamp {
   std::string to_string() const;
 
  private:
-  std::vector<std::uint64_t> components_;
+  std::vector<std::uint64_t, Alloc> components_;
 };
 
 /// Shared state of an REV plausible-clock system: one atomic counter per
@@ -74,6 +77,12 @@ class RevDomain {
   int entry_of(int slot) const { return slot % entries_; }
 
   RevStamp zero() const { return RevStamp(entries_); }
+
+  /// zero() whose component storage draws from `pool` (slab-backed stamp
+  /// for pooled nodes). A null pool degrades to the plain heap.
+  RevStamp zero_in(object::NodePool* pool, int slot) const {
+    return RevStamp(entries_, RevStamp::Alloc(pool, slot));
+  }
 
   /// Advance thread `slot`'s entry inside `stamp` (commit step): draws a
   /// value strictly greater than both the shared entry counter and the

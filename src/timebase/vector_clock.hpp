@@ -11,15 +11,18 @@
 #include <string>
 #include <vector>
 
+#include "object/pool_allocator.hpp"
 #include "timebase/clock_order.hpp"
 
 namespace zstm::timebase {
 
 class VcStamp {
  public:
+  using Alloc = object::PoolAllocator<std::uint64_t>;
+
   VcStamp() = default;
-  explicit VcStamp(int dimension)
-      : components_(static_cast<std::size_t>(dimension), 0) {}
+  explicit VcStamp(int dimension, const Alloc& alloc = Alloc())
+      : components_(static_cast<std::size_t>(dimension), 0, alloc) {}
 
   int dimension() const { return static_cast<int>(components_.size()); }
 
@@ -51,7 +54,7 @@ class VcStamp {
   std::string to_string() const;
 
  private:
-  std::vector<std::uint64_t> components_;
+  std::vector<std::uint64_t, Alloc> components_;
 };
 
 /// Per-runtime shared configuration for plain vector clocks. Vector clocks
@@ -65,6 +68,13 @@ class VcDomain {
   int dimension() const { return dimension_; }
 
   VcStamp zero() const { return VcStamp(dimension_); }
+
+  /// zero() whose component storage draws from `pool` (slab-backed stamp
+  /// for pooled nodes: written versions carry one of these per commit).
+  /// A null pool degrades to the plain heap, matching zero().
+  VcStamp zero_in(object::NodePool* pool, int slot) const {
+    return VcStamp(dimension_, VcStamp::Alloc(pool, slot));
+  }
 
   /// Advance thread `slot`'s logical time within `stamp` (commit step).
   /// Purely thread-local for true vector clocks.

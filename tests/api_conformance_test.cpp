@@ -1,5 +1,5 @@
 // Cross-runtime conformance suite for the unified façade (api/stm_api.hpp):
-// one shared battery, TYPED_TEST'd across all five runtime variants through
+// one shared battery, TYPED_TEST'd across all six runtime variants through
 // api::Stm<R>, plus AnyStm name-resolution coverage. Every variant must
 // agree on the observable semantics the façade promises — atomic updates,
 // consistent read-only snapshots, abort/retry visibility, budgeted-run
@@ -44,7 +44,7 @@ class ApiConformance : public ::testing::Test {
 };
 
 using Variants = ::testing::Types<api::LsaStm, api::CsVcStm, api::CsRevStm,
-                                  api::SStm, api::ZStm>;
+                                  api::SStm, api::ZStm, api::Tl2Stm>;
 TYPED_TEST_SUITE(ApiConformance, Variants);
 
 // --- basic semantics --------------------------------------------------------
@@ -312,8 +312,16 @@ TYPED_TEST(ApiConformance, TwoFacadeInstancesKeepSeparateState) {
 // --- AnyStm: name resolution and erased-handle semantics --------------------
 
 TEST(AnyStm, UnknownNameThrows) {
-  EXPECT_THROW(api::AnyStm::make("tl2"), std::invalid_argument);
+  EXPECT_THROW(api::AnyStm::make("tl3"), std::invalid_argument);
   EXPECT_THROW(api::AnyStm::make(""), std::invalid_argument);
+}
+
+TEST(AnyStm, Tl2NameResolves) {
+  api::AnyStm stm = api::AnyStm::make("tl2");
+  EXPECT_EQ(stm.name(), "tl2");
+  auto x = stm.make_var(5L);
+  stm.run(TxKind::kUpdate, [&](api::TxHandle& tx) { tx.write(x) += 1; });
+  stm.run(TxKind::kReadOnly, [&](api::TxHandle& tx) { EXPECT_EQ(tx.read(x), 6); });
 }
 
 TEST(AnyStm, AliasNamesResolve) {

@@ -1,6 +1,6 @@
 // Smoke canary: commit one transaction on every runtime variant through
 // the unified façade — statically via api::Stm<R> (zero-cost adapters) and
-// by name via api::AnyStm (all six variant names, covering the five
+// by name via api::AnyStm (all seven variant names, covering the six
 // runtimes). CTest labels this suite `smoke` so CI can gate on it before
 // the slow stress suites run.
 #include <gtest/gtest.h>
@@ -46,6 +46,11 @@ TEST(Smoke, SstmCommitsThroughFacade) {
 
 TEST(Smoke, ZstmCommitsShortAndLongThroughFacade) {
   api::ZStm stm;
+  commit_one(stm);
+}
+
+TEST(Smoke, Tl2CommitsThroughFacade) {
+  api::Tl2Stm stm;
   commit_one(stm);
 }
 
