@@ -18,6 +18,8 @@
 #include <sys/utsname.h>
 #endif
 
+#include "util/cpu_topology.hpp"
+
 namespace zstm::benchjson {
 
 /// True when argv contains `--json`.
@@ -103,6 +105,12 @@ class Doc {
   static void write_host(std::FILE* f) {
     std::fprintf(f, "  \"host\": {\"hardware_concurrency\": %u",
                  std::thread::hardware_concurrency());
+    // Cache topology matters for interpreting clock-scalability numbers:
+    // on a 1-CPU / 1-group host no cache-line contention ever materializes,
+    // so contention-relief schemes can only show their uncontended cost.
+    const auto& topo = util::cpu_topology();
+    std::fprintf(f, ", \"cpus\": %d, \"cache_groups\": %d, \"topology\": \"%s\"",
+                 topo.cpus, topo.groups, topo.source.c_str());
 #if defined(__unix__) || defined(__APPLE__)
     struct utsname u{};
     if (uname(&u) == 0) {

@@ -13,7 +13,7 @@ perf deltas on shared runners are noisy), 2 on unreadable/unmatched input.
 import json
 import sys
 
-ID_INT_FIELDS = {"threads", "r", "versions_kept"}
+ID_INT_FIELDS = {"threads", "r", "versions_kept", "batch", "shards", "stride"}
 
 
 def row_key(row):

@@ -43,6 +43,7 @@
 #include "runtime/run_result.hpp"
 #include "runtime/txdesc.hpp"
 #include "timebase/plausible_clock.hpp"
+#include "timebase/sharded_clock.hpp"
 #include "timebase/vector_clock.hpp"
 #include "util/align.hpp"
 #include "util/backoff.hpp"
@@ -68,6 +69,12 @@ struct Config {
   /// Slab-pool node allocation (DESIGN.md §7); ZSTM_POOL=0 overrides.
   bool use_node_pool = true;
   bool record_history = false;
+  /// Topology-sharded transaction ids (identity only; ids never order
+  /// anything — causal order lives in the vector clocks). ZSTM_SHARDED_IDS=0
+  /// overrides.
+  bool sharded_tx_ids = true;
+  /// EBR: a slot attempts a global epoch advance every Nth retire.
+  int ebr_collect_period = 64;
 };
 
 /// Causally serializable STM templated over the clock system.
@@ -208,9 +215,11 @@ class RuntimeT {
         registry_(cfg.max_threads),
         stats_(registry_),
         pool_(registry_, &stats_, cfg.use_node_pool),
-        epochs_(registry_),
+        epochs_(registry_, cfg.ebr_collect_period),
         recorder_(cfg.record_history, cfg.max_threads),
         cm_(cm::make_manager(cfg.cm_policy)),
+        id_clock_(cfg.max_threads, /*shards=*/cfg.max_threads),
+        sharded_ids_(timebase::sharded_ids_enabled(cfg.sharded_tx_ids)),
         spare_ct_(static_cast<std::size_t>(registry_.capacity())),
         store_(pool_, epochs_, stats_, object::retention_policy(cfg)) {}
 
@@ -307,6 +316,13 @@ class RuntimeT {
   /// copy-assigns VCp into the retained capacity. Steady state: zero heap
   /// allocations per transaction for descriptor clock storage. Slot-keyed,
   /// so the buffers survive thread churn like the NodePool's free lists.
+  /// Transaction ids are identity only (causal order lives in the vector
+  /// clocks), so they may come from the topology-sharded clock.
+  std::uint64_t next_tx_id(int slot) {
+    if (sharded_ids_) return id_clock_.unique_id(slot);
+    return tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   Stamp take_spare_stamp(int slot) {
     return std::move(spare_ct_[static_cast<std::size_t>(slot)].value);
   }
@@ -335,6 +351,8 @@ class RuntimeT {
   std::unique_ptr<cm::ContentionManager> cm_;
   util::PaddedCounter tx_ids_;
   util::PaddedCounter ticks_;
+  timebase::ShardedClock id_clock_;
+  bool sharded_ids_;
   /// Recycled per-slot TxDesc stamp buffers (see take_spare_stamp).
   std::vector<util::Padded<Stamp>> spare_ct_;
   Store store_;
@@ -347,8 +365,7 @@ class RuntimeT {
 template <typename D>
 typename RuntimeT<D>::Tx& RuntimeT<D>::ThreadCtx::begin() {
   if (in_transaction()) abort_attempt();
-  const std::uint64_t id =
-      rt_.tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t id = rt_.next_tx_id(slot());
   // T.ct starts from VCp, the last committed timestamp of this thread
   // (Algorithm 1 line 3). The stamp's backing vector is recycled through
   // the slot's spare buffer: the copy-assign below reuses its capacity, so

@@ -1,13 +1,34 @@
 #include "lsa/lsa.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 namespace zstm::lsa {
 
 namespace {
 
 timebase::ScalarTimeBase make_time_base(const Config& cfg) {
-  if (cfg.time_base == timebase::TimeBaseKind::kSyncClock) {
-    return timebase::ScalarTimeBase(cfg.max_threads, cfg.clock_deviation,
-                                    cfg.seed);
+  timebase::TimeBaseKind kind = cfg.time_base;
+  // Experiment escape hatch: override the configured timebase globally
+  // without touching call sites (same spirit as ZSTM_POOL=0).
+  if (const char* e = std::getenv("ZSTM_TIMEBASE")) {
+    const std::string_view v(e);
+    if (v == "global") {
+      kind = timebase::TimeBaseKind::kCounter;
+    } else if (v == "sync") {
+      kind = timebase::TimeBaseKind::kSyncClock;
+    } else if (v == "batched") {
+      kind = timebase::TimeBaseKind::kBatchedCounter;
+    }
+  }
+  switch (kind) {
+    case timebase::TimeBaseKind::kSyncClock:
+      return timebase::ScalarTimeBase(cfg.max_threads, cfg.clock_deviation,
+                                      cfg.seed);
+    case timebase::TimeBaseKind::kBatchedCounter:
+      return timebase::ScalarTimeBase(cfg.max_threads, cfg.timebase_batch);
+    case timebase::TimeBaseKind::kCounter:
+      break;
   }
   return timebase::ScalarTimeBase();
 }
@@ -23,16 +44,27 @@ Runtime::Runtime(Config cfg)
       registry_(cfg.max_threads),
       stats_(registry_),
       pool_(registry_, &stats_, cfg.use_node_pool),
-      epochs_(registry_),
+      epochs_(registry_, cfg.ebr_collect_period),
       recorder_(cfg.record_history, cfg.max_threads),
       timebase_(make_time_base(cfg)),
       cm_(cm::make_manager(cfg.cm_policy)),
-      store_(pool_, epochs_, stats_, object::retention_policy(cfg)) {}
+      id_clock_(cfg.max_threads, /*shards=*/cfg.max_threads),
+      sharded_ids_(timebase::sharded_ids_enabled(cfg.sharded_tx_ids)),
+      store_(pool_, epochs_, stats_, object::retention_policy(cfg)) {
+  // A detaching thread abandons its timebase lease (batched counter);
+  // otherwise a dead slot's low lease would pin now_floor() forever.
+  timebase_listener_ = registry_.add_release_listener(
+      [this](int slot) { timebase_.release_slot(slot); });
+}
 
 // All worker threads must be detached by now; the store tears down the live
 // objects single-threaded, and the EpochManager's destructor (drain_all)
 // frees retired locators/versions/descriptors — disjoint sets.
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (timebase_listener_ >= 0) {
+    registry_.remove_release_listener(timebase_listener_);
+  }
+}
 
 std::unique_ptr<ThreadCtx> Runtime::attach() {
   return std::unique_ptr<ThreadCtx>(new ThreadCtx(*this, registry_.attach()));
@@ -52,7 +84,7 @@ ThreadCtx::~ThreadCtx() {
 Tx& ThreadCtx::begin(bool read_only) {
   if (in_transaction()) abort_attempt();  // defensive: drop a leaked attempt
   Tx& tx = tx_;
-  next_tx_id_ = rt_.next_tx_id();
+  next_tx_id_ = rt_.next_tx_id(slot());
   tx.desc_ = rt_.pool_.create<TxDesc>(slot(), next_tx_id_, slot(),
                                       runtime::TxClass::kShort);
   tx.desc_->set_start_ticks(rt_.next_tick());

@@ -45,6 +45,7 @@
 #include "runtime/run_result.hpp"
 #include "runtime/txdesc.hpp"
 #include "timebase/scalar_timebase.hpp"
+#include "timebase/sharded_clock.hpp"
 #include "util/backoff.hpp"
 #include "util/ebr.hpp"
 #include "util/stats.hpp"
@@ -69,8 +70,16 @@ struct Config {
   int retention_min = 1;
   int retention_max = 64;
   int retention_decay_period = 64;
+  /// Commit timebase (DESIGN.md §10). kCounter is the paper's shared
+  /// counter; kBatchedCounter leases blocks of `timebase_batch` ticks per
+  /// thread (same serializability guarantees — commit pays a lease fence
+  /// instead of a wait). The ZSTM_TIMEBASE environment variable
+  /// (global|sync|batched) overrides this for experiments.
   timebase::TimeBaseKind time_base = timebase::TimeBaseKind::kCounter;
   std::chrono::nanoseconds clock_deviation{0};
+  /// Ticks per lease when time_base == kBatchedCounter (k: the contended
+  /// fetch_add is amortized k×).
+  int timebase_batch = 64;
   cm::Policy cm_policy = cm::Policy::kPolite;
   /// false ⇒ the Figure 6 "LSA-STM (no readsets)" variant for transactions
   /// declared read-only.
@@ -79,6 +88,13 @@ struct Config {
   /// escape hatch overrides this to false (debugging/ASan).
   bool use_node_pool = true;
   bool record_history = false;
+  /// Draw transaction/object ids from a topology-sharded clock instead of
+  /// one global counter. Ids are identity-only (no code orders by them),
+  /// so this is safe under every criterion; ZSTM_SHARDED_IDS=0 overrides
+  /// to false (debugging: densely ordered ids).
+  bool sharded_tx_ids = true;
+  /// EBR: a slot attempts a global epoch advance every Nth retire.
+  int ebr_collect_period = 64;
   std::uint64_t seed = 1;
 };
 
@@ -339,10 +355,15 @@ class Runtime {
     return ticks_.value.fetch_add(1, std::memory_order_relaxed);
   }
   /// Globally unique transaction id (shared with Z-STM's long transactions
-  /// so ids never collide across transaction classes).
-  std::uint64_t next_tx_id() {
+  /// so ids never collide across transaction classes). Ids are identity
+  /// only — nothing orders by them — so under Config::sharded_tx_ids they
+  /// come from the slot's shard of a topology-sharded clock instead of one
+  /// globally contended counter.
+  std::uint64_t next_tx_id(int slot) {
+    if (sharded_ids_) return id_clock_.unique_id(slot);
     return tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
   }
+  bool sharded_ids() const { return sharded_ids_; }
 
  private:
   friend class ThreadCtx;
@@ -360,6 +381,11 @@ class Runtime {
   std::unique_ptr<cm::ContentionManager> cm_;
   util::PaddedCounter ticks_;  // CM start-time ordering
   util::PaddedCounter tx_ids_;
+  timebase::ShardedClock id_clock_;
+  bool sharded_ids_;
+  /// Registry release-listener id for the timebase slot-teardown hook
+  /// (batched leases must not pin now_floor() after a thread detaches).
+  int timebase_listener_ = -1;
   Store store_;
 };
 

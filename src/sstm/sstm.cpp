@@ -14,9 +14,11 @@ Runtime::Runtime(Config cfg)
       registry_(cfg.max_threads),
       stats_(registry_),
       pool_(registry_, &stats_, cfg.use_node_pool),
-      epochs_(registry_),
+      epochs_(registry_, cfg.ebr_collect_period),
       recorder_(cfg.record_history, cfg.max_threads),
       cm_(cm::make_manager(cfg.cm_policy)),
+      id_clock_(cfg.max_threads, /*shards=*/cfg.max_threads),
+      sharded_ids_(timebase::sharded_ids_enabled(cfg.sharded_tx_ids)),
       store_(pool_, epochs_, stats_, object::retention_policy(cfg)) {}
 
 // The store tears down the live objects; runtime-retained descriptors are
@@ -24,8 +26,11 @@ Runtime::Runtime(Config cfg)
 Runtime::~Runtime() = default;
 
 TxDesc* Runtime::allocate_desc(int slot) {
+  // Ids are identity only (ordering lives in the vector clocks), so the
+  // topology-sharded clock may serve them.
   const std::uint64_t id =
-      tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
+      sharded_ids_ ? id_clock_.unique_id(slot)
+                   : tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
   auto desc = std::make_unique<TxDesc>(id, slot, domain_.zero());
   TxDesc* raw = desc.get();
   {

@@ -46,6 +46,7 @@
 #include "runtime/payload.hpp"
 #include "runtime/run_result.hpp"
 #include "runtime/txdesc.hpp"
+#include "timebase/sharded_clock.hpp"
 #include "timebase/vector_clock.hpp"
 #include "util/backoff.hpp"
 #include "util/ebr.hpp"
@@ -72,6 +73,11 @@ struct Config {
   /// Descriptors stay runtime-retained either way (reader lists).
   bool use_node_pool = true;
   bool record_history = false;
+  /// Topology-sharded transaction ids (identity only; serializability
+  /// order lives in the vector clocks). ZSTM_SHARDED_IDS=0 overrides.
+  bool sharded_tx_ids = true;
+  /// EBR: a slot attempts a global epoch advance every Nth retire.
+  int ebr_collect_period = 64;
 };
 
 class Runtime;
@@ -291,6 +297,8 @@ class Runtime {
   std::unique_ptr<cm::ContentionManager> cm_;
   util::PaddedCounter tx_ids_;
   util::PaddedCounter ticks_;
+  timebase::ShardedClock id_clock_;
+  bool sharded_ids_;
 
   /// Descriptors are retained for the runtime's lifetime: reader lists and
   /// past-reader lists may reference a descriptor long after its

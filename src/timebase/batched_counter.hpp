@@ -1,0 +1,176 @@
+// Batched commit counter: threads lease aligned blocks of k ticks from a
+// global block counter, amortizing the contended fetch_add k× (DESIGN.md
+// §10). The common-case commit-stamp acquisition is one CAS on the slot's
+// own padded cache line.
+//
+// Tick space. Block b covers ticks [b*k + 1, (b+1)*k]; blocks are handed
+// out by a single fetch_add on `blocks_`, so leases are disjoint and every
+// issued tick is unique. Ticks are sparse (abandoned lease remainders are
+// never reissued) — callers may only compare stamps, never count them.
+//
+// Per-slot state is ONE atomic word, `next`: the smallest tick the slot
+// may still issue (kIdle when detached). Every transition is a CAS, which
+// is what makes the two global operations sound:
+//
+//  * now_floor() — a snapshot anchor t such that every acquire() that
+//    STARTS after now_floor() returns yields a tick > t. It reads the
+//    block counter first (future leases start above it), then takes the
+//    min over published `next` values (a slot never issues below its
+//    published `next`; leasing publishes an intent lower bound before the
+//    fetch_add, so an in-flight lease is never invisible to the scan).
+//    All ops involved are seq_cst; the case analysis is over the seq_cst
+//    total order.
+//
+//  * fence_after(stamp) — after it returns, every acquire() that STARTS
+//    later yields a tick > stamp. It CAS-bumps any slot whose `next` could
+//    still dip to stamp up to the first tick of the block after stamp's.
+//    Bounded work, no waiting: a dormant leaseholder is simply robbed of
+//    its lease remainder; its next acquire re-leases from the block
+//    counter, which has already passed stamp's block. This is what lets
+//    LSA/Z-STM keep their commit-time validation sound under out-of-order
+//    stamps — a no-op "wait" here is NOT merely slower, it admits
+//    non-serializable schedules (a three-transaction anti-dependency cycle;
+//    see DESIGN.md §10), which the history battery would flag.
+//
+// An owner tracks its lease bounds (`lo`, `hi`) in plain fields beside the
+// atomic: after a fence moved `next`, the owner's claim CAS fails or the
+// reloaded value falls outside [lo, hi], and the owner re-leases. Lost
+// races waste ticks, never duplicate them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/align.hpp"
+
+namespace zstm::timebase {
+
+class BatchedCounter {
+ public:
+  /// `slots`: number of per-thread lanes (registry capacity). `batch`:
+  /// ticks per lease (k), clamped to >= 1 (k == 1 degenerates to a
+  /// fetch_add per stamp through the block counter).
+  explicit BatchedCounter(int slots, int batch)
+      : k_(batch > 0 ? static_cast<std::uint64_t>(batch) : 1),
+        slots_(static_cast<std::size_t>(slots > 0 ? slots : 1)) {}
+
+  int batch() const { return static_cast<int>(k_); }
+
+  /// Unique tick, strictly greater than `floor`. `floor` must be 0 or a
+  /// previously issued tick (callers pass the newest stamp of versions
+  /// they supersede); one re-lease then always clears it, because issued
+  /// ticks never exceed the block counter's ceiling.
+  std::uint64_t acquire(int slot, std::uint64_t floor = 0) {
+    Slot& s = slots_[static_cast<std::size_t>(slot)].value;
+    std::uint64_t cur = s.next.load(std::memory_order_seq_cst);
+    for (;;) {
+      if (cur >= s.lo && cur <= s.hi && cur > floor) {
+        // Common case: claim the next tick of the held lease.
+        if (s.next.compare_exchange_weak(cur, cur + 1,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst)) {
+          return cur;
+        }
+        continue;  // a fence moved `next`; cur was reloaded
+      }
+      if (cur == kIdle) {
+        // Publish an intent lower bound BEFORE touching the block counter,
+        // so a now_floor() scan that misses the upcoming lease still
+        // anchors below it (intent <= the lease's first tick, because the
+        // counter only grows between this load and the fetch_add below).
+        const std::uint64_t intent =
+            blocks_.value.load(std::memory_order_seq_cst) * k_ + 1;
+        if (!s.next.compare_exchange_strong(cur, intent,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_seq_cst)) {
+          continue;  // defensive; fences skip idle slots
+        }
+        cur = intent;
+      }
+      // Lease a fresh block. Any published non-idle `next` is <= base + 1
+      // for the block leased here (exhausted bound, fence target, and
+      // intent are all bounded by the counter's past), so the published
+      // value keeps now_floor() conservative while the lease is installed.
+      const std::uint64_t base =
+          blocks_.value.fetch_add(1, std::memory_order_seq_cst) * k_;
+      s.lo = base + 1;
+      s.hi = base + k_;
+      if (base + 1 > floor &&
+          s.next.compare_exchange_strong(cur, base + 2,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst)) {
+        return base + 1;
+      }
+      // Either the fresh block is still under `floor` (stale counter read
+      // impossible — but floor from a *concurrent* chain may outrun one
+      // lease) or a fence raced the installation; loop and retry with the
+      // reloaded value. Abandoned blocks are wasted, never reissued.
+      cur = s.next.load(std::memory_order_seq_cst);
+    }
+  }
+
+  /// Snapshot anchor: every acquire() starting after this call returns a
+  /// tick strictly greater than the returned value.
+  std::uint64_t now_floor() const {
+    std::uint64_t t = blocks_.value.load(std::memory_order_seq_cst) * k_;
+    for (const auto& ps : slots_) {
+      const std::uint64_t n = ps.value.next.load(std::memory_order_seq_cst);
+      if (n != kIdle && n - 1 < t) t = n - 1;
+    }
+    return t;
+  }
+
+  /// After this returns, no acquire() that starts later can return a tick
+  /// <= `stamp` — from ANY slot, including ones attached afterwards (their
+  /// leases come from the block counter, which has passed stamp's block).
+  /// `stamp` must be an issued tick (the caller's own commit stamp).
+  void fence_after(std::uint64_t stamp) {
+    if (stamp == 0) return;
+    // First tick of the block after stamp's block.
+    const std::uint64_t target = (((stamp - 1) / k_) + 1) * k_ + 1;
+    for (auto& ps : slots_) {
+      auto& n = ps.value.next;
+      std::uint64_t cur = n.load(std::memory_order_seq_cst);
+      while (cur != kIdle && cur <= stamp) {
+        if (n.compare_exchange_weak(cur, target, std::memory_order_seq_cst,
+                                    std::memory_order_seq_cst)) {
+          break;
+        }
+      }
+    }
+  }
+
+  /// Abandon the slot's lease (thread detach). Must be called by the
+  /// owning thread; an idle slot never constrains now_floor() and never
+  /// issues ticks until re-leased.
+  void release_slot(int slot) {
+    Slot& s = slots_[static_cast<std::size_t>(slot)].value;
+    s.lo = 1;
+    s.hi = 0;
+    s.next.store(kIdle, std::memory_order_seq_cst);
+  }
+
+  /// Ticks the block counter has provisioned (diagnostics/bench only).
+  std::uint64_t provisioned() const {
+    return blocks_.value.load(std::memory_order_relaxed) * k_;
+  }
+
+ private:
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  struct Slot {
+    /// Smallest tick this slot may still issue; kIdle when detached.
+    /// CAS-only transitions (plus the owner's idle reset).
+    std::atomic<std::uint64_t> next{kIdle};
+    /// Owner-only lease bounds; [1, 0] (empty) when no lease is held.
+    std::uint64_t lo = 1;
+    std::uint64_t hi = 0;
+  };
+
+  std::uint64_t k_;
+  util::Padded<std::atomic<std::uint64_t>> blocks_;  // next unleased block
+  std::vector<util::Padded<Slot>> slots_;
+};
+
+}  // namespace zstm::timebase

@@ -1,9 +1,11 @@
 #include "tl2/tl2.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <new>
 #include <stdexcept>
+#include <string_view>
 
 namespace zstm::tl2 {
 
@@ -25,7 +27,9 @@ Runtime::Runtime(Config cfg)
       registry_(cfg.max_threads),
       stats_(registry_),
       pool_(registry_, &stats_, cfg.use_node_pool),
-      recorder_(cfg.record_history, registry_.capacity()) {
+      recorder_(cfg.record_history, registry_.capacity()),
+      id_clock_(cfg.max_threads, /*shards=*/cfg.max_threads),
+      sharded_ids_(timebase::sharded_ids_enabled(cfg.sharded_tx_ids)) {
   int bits = cfg.lock_table_bits;
   if (bits < 6) bits = 6;
   if (bits > 24) bits = 24;
@@ -109,7 +113,7 @@ Tx& ThreadCtx::begin(bool read_only) {
   tx_.snaps_.clear();
   if (rt_.recorder_.enabled()) {
     tx_.rec_ = history::TxRecord{};
-    tx_.rec_.tx_id = rt_.next_tx_id();
+    tx_.rec_.tx_id = rt_.next_tx_id(slot());
     tx_.rec_.thread_slot = slot();
     tx_.rec_.tx_class = runtime::TxClass::kShort;
     tx_.rec_.begin_seq = rt_.recorder_.tick();
@@ -262,12 +266,59 @@ void ThreadCtx::commit() {
   }
 
   // 3. Commit time.
-  const std::uint64_t wv = rt_.clock_.acquire_commit_time();
+  //
+  //    kFetchAdd (GV1): one fetch_add; wv is exclusively ours and the
+  //    wv == rv + 1 short-cut says nobody committed since begin.
+  //
+  //    kCasStride (GV4/GV5-style): read the clock *after* the stripes are
+  //    locked, then make ONE CAS attempt to advance it by the stride. A
+  //    loser adopts the winner's (strictly larger) value as its own commit
+  //    time instead of retrying, so a cohort of racing committers writes
+  //    the clock line once. Soundness:
+  //      * wv > rv always — the post-lock read `cur` satisfies cur >= rv
+  //        (gv is monotone and rv was sampled earlier), a CAS win yields
+  //        wv = cur + stride > rv, and a CAS loss updates cur to a value
+  //        another committer published, which is > the old cur >= rv.
+  //      * Stripes release at wv > rv >= every acquired stripe's version
+  //        (step 2 dooms any stripe newer than rv), so stripe versions
+  //        still increase monotonically.
+  //      * Two committers sharing an adopted wv have disjoint write sets
+  //        (both hold their stripes), and readers order against each via
+  //        the per-stripe seqlock, not the clock — same argument as TL2's
+  //        published GV4 variant.
+  //      * The post-lock read (not a CAS from rv itself) is what keeps the
+  //        skip-revalidation short-cut sound below; see DESIGN.md §10.
+  std::uint64_t wv;
+  bool skip_revalidation;
+  if (rt_.cfg_.clock_scheme == ClockScheme::kCasStride) {
+    const std::uint64_t stride =
+        rt_.cfg_.clock_stride > 0
+            ? static_cast<std::uint64_t>(rt_.cfg_.clock_stride)
+            : 1;
+    std::uint64_t cur = rt_.clock_.now();
+    if (rt_.clock_.try_advance_commit_time(cur, cur + stride)) {
+      wv = cur + stride;
+      // Safe to skip only when the clock still held rv at our CAS: then no
+      // committer can have acquired a stamp <= rv after we sampled rv (any
+      // adopter's post-lock read would have been >= rv with the clock
+      // pinned at rv until our own CAS moved it).
+      skip_revalidation = (cur == tx.rv_);
+    } else {
+      // Adoption: cur was reloaded by the failed CAS. Adopters never skip
+      // revalidation — a same-wv peer may have committed writes we read.
+      wv = cur;
+      skip_revalidation = false;
+      rt_.stats_.add(s, util::Counter::kClockAdopts);
+    }
+  } else {
+    wv = rt_.clock_.acquire_commit_time();
+    // Classic TL2 short-cut: wv == rv + 1 means no other transaction
+    // committed since begin and the snapshot is trivially still current.
+    skip_revalidation = (wv == tx.rv_ + 1);
+  }
 
-  // 4. Read-set revalidation — unless wv == rv + 1, in which case no other
-  //    transaction committed since begin and the snapshot is trivially
-  //    still current (the classic TL2 short-cut).
-  if (wv != tx.rv_ + 1) {
+  // 4. Read-set revalidation.
+  if (!skip_revalidation) {
     for (const auto& r : tx.read_set_) {
       for (std::uint32_t i = 0; i < r.obj->word_count; ++i) {
         const std::uint32_t st = rt_.stripe_of(&r.obj->words[i]);

@@ -59,6 +59,7 @@
 #include "runtime/run_result.hpp"
 #include "runtime/txdesc.hpp"
 #include "timebase/global_counter.hpp"
+#include "timebase/sharded_clock.hpp"
 #include "util/backoff.hpp"
 #include "util/stats.hpp"
 #include "util/thread_registry.hpp"
@@ -68,6 +69,20 @@ namespace zstm::tl2 {
 /// Thrown internally when a transaction attempt must be retried. User code
 /// inside Runtime::run must let it propagate (the façade contract).
 struct TxAborted {};
+
+/// How update commits advance the global version clock (DESIGN.md §10).
+enum class ClockScheme {
+  /// Classic TL2 / GV1: one fetch_add per update commit. Every committer
+  /// serializes on the clock's cache line.
+  kFetchAdd,
+  /// GV4/GV5-style relaxed scheme: one CAS attempt advancing the clock by
+  /// `clock_stride`; a committer that loses the race *adopts* the winner's
+  /// value as its own commit time instead of retrying, so the clock line
+  /// is written at most once per race cohort. Costs false aborts (adopters
+  /// always revalidate, and larger strides age readers' rv faster) — never
+  /// correctness; see the commit-path comment for the argument.
+  kCasStride,
+};
 
 struct Config {
   int max_threads = 36;
@@ -81,6 +96,12 @@ struct Config {
   /// overrides to false.
   bool use_node_pool = true;
   bool record_history = false;
+  ClockScheme clock_scheme = ClockScheme::kFetchAdd;
+  /// Clock increment per successful CAS under kCasStride (clamped >= 1).
+  int clock_stride = 1;
+  /// Draw history transaction ids from a topology-sharded clock (identity
+  /// only — nothing orders by tx id). ZSTM_SHARDED_IDS=0 overrides.
+  bool sharded_tx_ids = true;
 };
 
 class Runtime;
@@ -338,7 +359,8 @@ class Runtime {
   void* acquire_buf(int slot);
   void release_buf(int slot, void* p);
 
-  std::uint64_t next_tx_id() {
+  std::uint64_t next_tx_id(int slot) {
+    if (sharded_ids_) return id_clock_.unique_id(slot);
     return tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
@@ -349,6 +371,8 @@ class Runtime {
   history::Recorder recorder_;
   timebase::GlobalCounter clock_;
   util::PaddedCounter tx_ids_;
+  timebase::ShardedClock id_clock_;
+  bool sharded_ids_;
   util::PaddedCounter oids_;
   std::uint32_t stripe_mask_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> locks_;

@@ -1,0 +1,141 @@
+#include "util/cpu_topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace zstm::util {
+
+namespace {
+
+#if defined(__linux__)
+/// First line of a sysfs file, stripped of the trailing newline; empty on
+/// any failure (missing file, unreadable, etc.).
+std::string read_sysfs_line(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  char buf[256];
+  std::string out;
+  if (std::fgets(buf, sizeof buf, f) != nullptr) {
+    out = buf;
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+std::string cpu_dir(int cpu) {
+  return "/sys/devices/system/cpu/cpu" + std::to_string(cpu);
+}
+
+/// shared_cpu_list of the largest cache level this CPU reports (L3 first,
+/// then L2); empty when the cache directories are absent.
+std::string llc_shared_list(int cpu) {
+  for (int index = 3; index >= 2; --index) {
+    const std::string line = read_sysfs_line(
+        cpu_dir(cpu) + "/cache/index" + std::to_string(index) +
+        "/shared_cpu_list");
+    if (!line.empty()) return line;
+  }
+  return {};
+}
+#endif  // __linux__
+
+CpuTopology discover() {
+  CpuTopology topo;
+  const unsigned hc = std::thread::hardware_concurrency();
+  topo.cpus = hc > 0 ? static_cast<int>(hc) : 1;
+  topo.group_of_cpu.assign(static_cast<std::size_t>(topo.cpus), 0);
+  topo.groups = 1;
+  topo.source = "fallback";
+
+#if defined(__linux__)
+  // Group CPUs by the identity of their largest shared cache (the
+  // shared_cpu_list string is canonical per cache instance), falling back
+  // to the physical package id when cacheinfo is not exposed.
+  std::map<std::string, int> group_ids;
+  std::vector<int> groups(static_cast<std::size_t>(topo.cpus), -1);
+  bool llc_ok = true;
+  for (int cpu = 0; cpu < topo.cpus; ++cpu) {
+    const std::string key = llc_shared_list(cpu);
+    if (key.empty()) {
+      llc_ok = false;
+      break;
+    }
+    auto [it, inserted] = group_ids.try_emplace(key, static_cast<int>(group_ids.size()));
+    groups[static_cast<std::size_t>(cpu)] = it->second;
+    (void)inserted;
+  }
+  if (llc_ok && !group_ids.empty()) {
+    topo.group_of_cpu = std::move(groups);
+    topo.groups = static_cast<int>(group_ids.size());
+    topo.source = "sysfs-llc";
+    return topo;
+  }
+
+  group_ids.clear();
+  groups.assign(static_cast<std::size_t>(topo.cpus), -1);
+  bool pkg_ok = true;
+  for (int cpu = 0; cpu < topo.cpus; ++cpu) {
+    const std::string key =
+        read_sysfs_line(cpu_dir(cpu) + "/topology/physical_package_id");
+    if (key.empty()) {
+      pkg_ok = false;
+      break;
+    }
+    auto [it, inserted] = group_ids.try_emplace(key, static_cast<int>(group_ids.size()));
+    groups[static_cast<std::size_t>(cpu)] = it->second;
+    (void)inserted;
+  }
+  if (pkg_ok && !group_ids.empty()) {
+    topo.group_of_cpu = std::move(groups);
+    topo.groups = static_cast<int>(group_ids.size());
+    topo.source = "sysfs-package";
+  }
+#endif  // __linux__
+  return topo;
+}
+
+}  // namespace
+
+const CpuTopology& cpu_topology() {
+  static const CpuTopology topo = discover();
+  return topo;
+}
+
+int current_cpu() {
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  return cpu >= 0 ? cpu : -1;
+#else
+  return -1;
+#endif
+}
+
+int current_cache_group() {
+  const CpuTopology& topo = cpu_topology();
+  const int cpu = current_cpu();
+  if (cpu < 0 || cpu >= topo.cpus) return 0;
+  return topo.group_of_cpu[static_cast<std::size_t>(cpu)];
+}
+
+int slot_home_group(int slot, int capacity) {
+  const int groups = cpu_topology().groups;
+  if (groups <= 1 || capacity <= 0) return 0;
+  if (slot < 0) return 0;
+  if (slot >= capacity) return (slot % groups + groups) % groups;
+  // Contiguous blocks: slots [g*capacity/groups, (g+1)*capacity/groups).
+  return std::min(groups - 1,
+                  static_cast<int>((static_cast<long long>(slot) * groups) /
+                                   capacity));
+}
+
+}  // namespace zstm::util

@@ -1,0 +1,49 @@
+// Cache-topology discovery for NUMA/cluster-aware slot and shard layout.
+//
+// The scalable-timebase work (DESIGN.md §10) wants logically related
+// per-thread state — registry slots, timebase shards, stats cells — placed
+// so threads sharing a last-level cache also share a group id, while
+// threads on different packages/clusters land in different groups. Linux
+// exposes this through sysfs; everywhere else (or when sysfs is absent,
+// e.g. in minimal containers) the helpers degrade to a single group, which
+// reproduces the pre-topology behavior exactly.
+//
+// Discovery runs once per process and is immutable afterwards, so all
+// accessors are cheap and thread-safe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zstm::util {
+
+struct CpuTopology {
+  /// Online CPUs (>= 1).
+  int cpus = 1;
+  /// Distinct last-level-cache groups (>= 1).
+  int groups = 1;
+  /// group_of_cpu[cpu] in [0, groups); sized `cpus`.
+  std::vector<int> group_of_cpu;
+  /// Where the grouping came from: "sysfs-llc" (shared_cpu_list of the
+  /// largest cache level), "sysfs-package" (physical_package_id), or
+  /// "fallback" (single group).
+  std::string source;
+};
+
+/// The process-wide topology snapshot (discovered on first use).
+const CpuTopology& cpu_topology();
+
+/// CPU the calling thread is currently running on; -1 when unknown.
+int current_cpu();
+
+/// Cache group of the calling thread's current CPU (0 when unknown —
+/// always a valid group index).
+int current_cache_group();
+
+/// Static home group of a registry slot: slots are split into `groups`
+/// contiguous blocks so per-slot arrays indexed by slot id stay clustered
+/// per cache group. Matches ThreadRegistry's topology-aware attach and
+/// timebase::ShardedClock's default shard map.
+int slot_home_group(int slot, int capacity);
+
+}  // namespace zstm::util

@@ -2,10 +2,15 @@
 
 namespace zstm::util {
 
-EpochManager::EpochManager(ThreadRegistry& registry)
+EpochManager::EpochManager(ThreadRegistry& registry, int collect_period)
     : registry_(registry),
+      collect_period_(collect_period > 0 ? collect_period : 1),
       slots_(static_cast<std::size_t>(registry.capacity())),
-      garbage_(static_cast<std::size_t>(registry.capacity())) {}
+      garbage_(static_cast<std::size_t>(registry.capacity())) {
+  // Epochs start at 2 so `epoch + 2 <= global` can never be satisfied by
+  // wraparound arithmetic on the initial value.
+  global_epoch_.value.store(2, std::memory_order_relaxed);
+}
 
 EpochManager::~EpochManager() { drain_all(); }
 
@@ -15,7 +20,7 @@ void EpochManager::pin(int slot) {
   // seq_cst: the announcement must be globally visible before this thread
   // dereferences any shared version pointer, otherwise a concurrent
   // try_advance() could free memory this thread is about to read.
-  st.announced.store(global_epoch_.load(std::memory_order_seq_cst),
+  st.announced.store(global_epoch_.value.load(std::memory_order_seq_cst),
                      std::memory_order_seq_cst);
 }
 
@@ -33,16 +38,24 @@ bool EpochManager::pinned(int slot) const {
 void EpochManager::retire_raw(int slot, void* p, Deleter deleter) {
   auto& st = slots_[static_cast<std::size_t>(slot)];
   garbage_[static_cast<std::size_t>(slot)].value.push_back(
-      Retired{p, deleter, global_epoch_.load(std::memory_order_acquire)});
-  retired_total_.fetch_add(1, std::memory_order_relaxed);
-  if (++st.since_collect >= kCollectPeriod) {
+      Retired{p, deleter, global_epoch_.value.load(std::memory_order_acquire)});
+  retired_total_.value.fetch_add(1, std::memory_order_relaxed);
+  if (++st.since_collect >= collect_period_) {
     st.since_collect = 0;
     collect(slot);
   }
 }
 
+void EpochManager::flush(int slot) {
+  // Each collect() attempts one epoch advance before freeing; with no
+  // straggler pinned in an old epoch, three rounds walk the global epoch
+  // past retire_epoch + 2 for everything retired before this call.
+  for (int i = 0; i < 3; ++i) collect(slot);
+  slots_[static_cast<std::size_t>(slot)].since_collect = 0;
+}
+
 bool EpochManager::try_advance() {
-  const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  const std::uint64_t e = global_epoch_.value.load(std::memory_order_seq_cst);
   const int hw = registry_.high_water();
   for (int i = 0; i < hw; ++i) {
     const std::uint64_t a =
@@ -51,14 +64,14 @@ bool EpochManager::try_advance() {
     if (a != kQuiescent && a != e) return false;  // straggler in an old epoch
   }
   std::uint64_t expected = e;
-  global_epoch_.compare_exchange_strong(expected, e + 1,
-                                        std::memory_order_seq_cst);
+  global_epoch_.value.compare_exchange_strong(expected, e + 1,
+                                              std::memory_order_seq_cst);
   return true;
 }
 
 void EpochManager::collect(int slot) {
   try_advance();
-  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  const std::uint64_t e = global_epoch_.value.load(std::memory_order_acquire);
   auto& list = garbage_[static_cast<std::size_t>(slot)].value;
   std::size_t kept = 0;
   for (std::size_t i = 0; i < list.size(); ++i) {
@@ -67,7 +80,7 @@ void EpochManager::collect(int slot) {
     // started after the retire was published.
     if (list[i].epoch + 2 <= e) {
       list[i].deleter(list[i].ptr, slot);
-      freed_total_.fetch_add(1, std::memory_order_relaxed);
+      freed_total_.value.fetch_add(1, std::memory_order_relaxed);
     } else {
       list[kept++] = list[i];
     }
@@ -81,7 +94,7 @@ void EpochManager::drain_all() {
       // Single-threaded teardown: free on behalf of the retiring slot so
       // pooled nodes land back on their owner's free list.
       item.deleter(item.ptr, static_cast<int>(s));
-      freed_total_.fetch_add(1, std::memory_order_relaxed);
+      freed_total_.value.fetch_add(1, std::memory_order_relaxed);
     }
     garbage_[s].value.clear();
   }

@@ -32,7 +32,11 @@ namespace zstm::util {
 
 class EpochManager {
  public:
-  explicit EpochManager(ThreadRegistry& registry);
+  /// `collect_period`: a slot attempts a global epoch advance (and frees
+  /// its safe garbage) every Nth retire. Larger values amortize the
+  /// all-slots announcement scan at the cost of more deferred garbage;
+  /// clamped to >= 1. Runtimes expose it as Config::ebr_collect_period.
+  explicit EpochManager(ThreadRegistry& registry, int collect_period = 64);
   ~EpochManager();
 
   EpochManager(const EpochManager&) = delete;
@@ -89,21 +93,31 @@ class EpochManager {
   void retire_raw(int slot, void* p, Deleter deleter);
 
   /// Opportunistically advance the global epoch and free this slot's safe
-  /// garbage. Called automatically every few retirements; callable manually.
+  /// garbage. Called automatically every `collect_period` retirements;
+  /// callable manually.
   void collect(int slot);
+
+  /// Quiescence hook: bounded effort to advance the epoch far enough to
+  /// free everything this slot retired before the call (three advances
+  /// cover the retire→epoch+2 window when no straggler is pinned). Use at
+  /// natural pauses — thread detach, end of a benchmark phase — where a
+  /// large collect_period would otherwise leave garbage stranded.
+  void flush(int slot);
+
+  int collect_period() const { return collect_period_; }
 
   /// Free *everything*. Caller must guarantee no thread is pinned (e.g.
   /// runtime destructor after joining workers).
   void drain_all();
 
   std::uint64_t global_epoch() const {
-    return global_epoch_.load(std::memory_order_acquire);
+    return global_epoch_.value.load(std::memory_order_acquire);
   }
   std::uint64_t retired_count() const {
-    return retired_total_.load(std::memory_order_relaxed);
+    return retired_total_.value.load(std::memory_order_relaxed);
   }
   std::uint64_t freed_count() const {
-    return freed_total_.load(std::memory_order_relaxed);
+    return freed_total_.value.load(std::memory_order_relaxed);
   }
 
  private:
@@ -123,17 +137,22 @@ class EpochManager {
   };
 
   static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
-  static constexpr int kCollectPeriod = 64;
 
   bool try_advance();
 
   ThreadRegistry& registry_;
-  alignas(kCacheLine) std::atomic<std::uint64_t> global_epoch_{2};
+  int collect_period_;
+  // Padded, not just alignas: alignas only anchors the *start* of the
+  // member, so the vector headers declared next would otherwise share the
+  // epoch's contended line (PR 7 padding audit).
+  Padded<std::atomic<std::uint64_t>> global_epoch_;
   std::vector<SlotState> slots_;
   // Garbage lists are single-owner; one vector per slot, padded apart.
   std::vector<Padded<std::vector<Retired>>> garbage_;
-  std::atomic<std::uint64_t> retired_total_{0};
-  std::atomic<std::uint64_t> freed_total_{0};
+  // Every retire/free touches these; padded so the two write-hot words do
+  // not share a line with each other or with neighbors.
+  PaddedCounter retired_total_;
+  PaddedCounter freed_total_;
 };
 
 }  // namespace zstm::util

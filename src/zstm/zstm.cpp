@@ -146,7 +146,7 @@ LongTx& ThreadCtx::begin_long() {
   LongTx& tx = long_tx_;
   lsa::Runtime& sub = rt_.lsa_;
   const int s = slot();
-  const std::uint64_t id = sub.next_tx_id();
+  const std::uint64_t id = sub.next_tx_id(s);
   tx.desc_ = sub.node_pool().create<lsa::TxDesc>(s, id, s,
                                                  runtime::TxClass::kLong);
   tx.desc_->set_start_ticks(sub.next_tick());
