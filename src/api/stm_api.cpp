@@ -35,6 +35,9 @@ class AnyStmOf final : public detail::AnyStmBase {
 
   util::StatsSnapshot stats() const override { return stm_.stats(); }
   void reset_stats() override { stm_.reset_stats(); }
+  util::ProgressTracker::Snapshot progress() const override {
+    return stm_.progress();
+  }
   const CommonConfig& config() const override { return stm_.config(); }
 
  private:

@@ -51,8 +51,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -62,11 +65,13 @@
 #include <vector>
 
 #include "cs/cs.hpp"
+#include "fault/failpoint.hpp"
 #include "lsa/lsa.hpp"
 #include "runtime/run_result.hpp"
 #include "sstm/sstm.hpp"
 #include "tl2/tl2.hpp"
 #include "util/backoff.hpp"
+#include "util/stats.hpp"
 #include "zstm/zstm.hpp"
 
 namespace zstm::api {
@@ -92,6 +97,51 @@ inline const char* to_string(TxKind k) {
   }
   return "?";
 }
+
+/// The façade's progress policy: how `run` spaces retries and when it
+/// escalates (DESIGN.md §11.3). The ladder, in order:
+///
+///   1. Randomized-exponential backoff between attempts (util::Backoff with
+///      per-thread jitter, so rivals that abort each other don't wake in
+///      lockstep and re-collide).
+///   2. From `cm_escalate_after` aborted attempts on, CM-aware escalation:
+///      the attempt count is credited as contention-manager karma
+///      (TxDescBase::add_work) on each fresh descriptor — work-based
+///      policies (Karma/Polka) then increasingly favor the starved
+///      transaction. Backoff is deliberately NOT shortened: priority
+///      comes from the CM decision, never from out-spinning rivals (see
+///      the note in run_impl — hot retries starve the very owner the
+///      transaction is waiting on when threads outnumber cores).
+///   3. From `serial_after` aborted attempts on, the final rung: the
+///      transaction takes the Stm's global serial-irrevocable token
+///      (HTM-fallback style). Acquiring the token exclusively waits out
+///      every in-flight attempt; ordinary attempts share the token, so they
+///      proceed concurrently when no one holds it exclusively. The holder
+///      runs without façade rivals and with fault injection suppressed, so
+///      it eventually commits — the façade-level guarantee that no
+///      transaction starves forever.
+///
+/// `serial_after == 0` disables rung 3 unless the ZSTM_SERIAL_FALLBACK env
+/// var enables it with the default threshold (8). A per-call attempt budget
+/// (`run(kind, body, max_attempts)`) always wins over escalation: a
+/// transaction that exhausts its budget returns `committed == false`
+/// instead of escalating past it.
+///
+/// Not supported (unchanged from before): nested `run` calls on the same
+/// Stm — with serialization enabled they would self-deadlock on the token.
+struct RetryPolicy {
+  /// Give up (committed == false) after this many aborted attempts;
+  /// 0 = retry until commit. A nonzero per-call budget overrides this.
+  std::uint32_t max_attempts = 0;
+  /// Backoff window, in cpu_relax spins: first episode, and the doubling
+  /// cap after which episodes become sched_yield.
+  std::uint32_t backoff_min_spins = 4;
+  std::uint32_t backoff_max_spins = 1024;
+  /// Rung 2 threshold; 0 disables CM-aware escalation.
+  std::uint32_t cm_escalate_after = 16;
+  /// Rung 3 threshold; 0 = disabled unless ZSTM_SERIAL_FALLBACK is set.
+  std::uint32_t serial_after = 0;
+};
 
 /// One configuration that lowers into every runtime's native Config.
 /// Fields a runtime has no use for are ignored by its adapter (the
@@ -129,6 +179,8 @@ struct CommonConfig {
   /// selects the GV4/GV5-style single-CAS scheme with this stride
   /// (documented false-abort cost, never correctness).
   int tl2_clock_stride = 0;
+  /// Façade-level only (not lowered): the retry/escalation ladder.
+  RetryPolicy retry;
 };
 
 // ---------------------------------------------------------------------------
@@ -136,6 +188,27 @@ struct CommonConfig {
 // ---------------------------------------------------------------------------
 
 namespace detail {
+
+/// ZSTM_SERIAL_FALLBACK=1 turns on the serial-irrevocable rung for every
+/// Stm whose policy leaves `serial_after` at 0 (threshold 8).
+inline bool serial_fallback_env() {
+  static const bool on = [] {
+    const char* v = std::getenv("ZSTM_SERIAL_FALLBACK");
+    return v != nullptr && std::strcmp(v, "0") != 0;
+  }();
+  return on;
+}
+
+inline std::uint32_t resolve_serial_after(const RetryPolicy& pol) {
+  if (pol.serial_after != 0) return pol.serial_after;
+  return serial_fallback_env() ? 8u : 0u;
+}
+
+/// Per-slot jitter seed for the retry loop's randomized backoff (nonzero,
+/// distinct per slot — rivals never share a spin sequence).
+inline std::uint64_t backoff_seed(int slot) {
+  return 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(slot) + 2) | 1u;
+}
 
 /// The knobs every native Config shares, copied by field name (one place
 /// to extend when CommonConfig grows).
@@ -199,7 +272,10 @@ class BasicTx {
 };
 
 /// Shared single-attempt body for BasicTx runtimes: begin (adapter maps
-/// the kind), run, commit; the runtime's abort token means "retry".
+/// the kind), run, commit; the runtime's abort token means "retry". Any
+/// OTHER exception out of the body (including fault::ThreadExit) aborts
+/// the attempt — releasing every locator/stripe/lease it holds — before
+/// propagating to the caller.
 template <typename Adapter, typename AbortToken, typename Ctx, typename F>
 bool basic_attempt(Ctx& ctx, TxKind kind, F&& body) {
   auto& native = Adapter::begin_native(ctx, kind);
@@ -210,6 +286,9 @@ bool basic_attempt(Ctx& ctx, TxKind kind, F&& body) {
     return true;
   } catch (const AbortToken&) {
     return false;
+  } catch (...) {
+    if (ctx.in_transaction()) ctx.abort_attempt();
+    throw;
   }
 }
 
@@ -248,6 +327,12 @@ struct Adapter<lsa::Runtime> {
   template <typename F>
   static bool attempt(Runtime&, Ctx& ctx, TxKind kind, F&& body) {
     return basic_attempt<Adapter, lsa::TxAborted>(ctx, kind, body);
+  }
+
+  /// CM-aware escalation hook: credit a starved transaction's attempt
+  /// count as contention-manager karma on the fresh descriptor.
+  static void credit_work(Tx& handle, std::uint64_t n) {
+    handle.native().descriptor()->add_work(n);
   }
 };
 
@@ -291,6 +376,10 @@ struct Adapter<cs::RuntimeT<D>> {
   static bool attempt(Runtime&, Ctx& ctx, TxKind kind, F&& body) {
     return basic_attempt<Adapter, cs::TxAborted>(ctx, kind, body);
   }
+
+  static void credit_work(Tx& handle, std::uint64_t n) {
+    handle.native().descriptor()->add_work(n);
+  }
 };
 
 template <>
@@ -319,6 +408,10 @@ struct Adapter<sstm::Runtime> {
   template <typename F>
   static bool attempt(Runtime&, Ctx& ctx, TxKind kind, F&& body) {
     return basic_attempt<Adapter, sstm::TxAborted>(ctx, kind, body);
+  }
+
+  static void credit_work(Tx& handle, std::uint64_t n) {
+    handle.native().descriptor()->add_work(n);
   }
 };
 
@@ -367,6 +460,16 @@ struct Adapter<zl::Runtime> {
     }
     bool is_long() const { return long_ != nullptr; }
 
+    /// CM-aware escalation (façade retry loop): karma credit lands on
+    /// whichever native descriptor this attempt runs under.
+    void credit_work(std::uint64_t n) {
+      if (long_ != nullptr) {
+        long_->descriptor()->add_work(n);
+      } else {
+        short_->inner().descriptor()->add_work(n);
+      }
+    }
+
    private:
     zl::ShortTx* short_ = nullptr;
     zl::LongTx* long_ = nullptr;
@@ -393,6 +496,9 @@ struct Adapter<zl::Runtime> {
         return true;
       } catch (const zl::TxAborted&) {
         return false;
+      } catch (...) {
+        if (ctx.in_long_transaction()) ctx.abort_long_attempt();
+        throw;
       }
     }
     zl::ShortTx& n = ctx.begin_short(kind == TxKind::kReadOnly);
@@ -403,7 +509,14 @@ struct Adapter<zl::Runtime> {
       return true;
     } catch (const zl::TxAborted&) {
       return false;
+    } catch (...) {
+      if (ctx.in_short_transaction()) ctx.abort_short_attempt();
+      throw;
     }
+  }
+
+  static void credit_work(Tx& handle, std::uint64_t n) {
+    handle.credit_work(n);
   }
 };
 
@@ -447,6 +560,9 @@ struct Adapter<tl2::Runtime> {
   static bool attempt(Runtime&, Ctx& ctx, TxKind kind, F&& body) {
     return basic_attempt<Adapter, tl2::TxAborted>(ctx, kind, body);
   }
+
+  /// tl2 has no contention manager; karma credit has nowhere to go.
+  static void credit_work(Tx&, std::uint64_t) {}
 };
 
 }  // namespace detail
@@ -474,6 +590,8 @@ class Stm {
       : cfg_(cfg),
         rt_(Adapter::create(cfg)),
         shared_(std::make_shared<Shared>()),
+        progress_(std::make_unique<util::ProgressTracker>(cfg.max_threads)),
+        serial_after_(detail::resolve_serial_after(cfg.retry)),
         id_(next_id()) {}
 
   ~Stm() { invalidate_cached_ctxs(); }
@@ -484,6 +602,8 @@ class Stm {
       : cfg_(other.cfg_),
         rt_(std::move(other.rt_)),
         shared_(std::move(other.shared_)),
+        progress_(std::move(other.progress_)),
+        serial_after_(other.serial_after_),
         id_(other.id_) {
     other.id_ = 0;  // the id travels with the runtime; the husk is inert
   }
@@ -493,6 +613,8 @@ class Stm {
       cfg_ = other.cfg_;
       rt_ = std::move(other.rt_);
       shared_ = std::move(other.shared_);
+      progress_ = std::move(other.progress_);
+      serial_after_ = other.serial_after_;
       id_ = other.id_;
       other.id_ = 0;
     }
@@ -540,6 +662,13 @@ class Stm {
   util::StatsSnapshot stats() const { return rt_->stats(); }
   void reset_stats() { rt_->reset_stats(); }
 
+  /// Starvation watchdog: per-slot max-attempt high-water, the oldest
+  /// transaction currently in flight, and serial-fallback entries.
+  util::ProgressTracker::Snapshot progress() const {
+    return progress_->snapshot();
+  }
+  void reset_progress() { progress_->reset(); }
+
  private:
   struct Entry;
 
@@ -549,6 +678,11 @@ class Stm {
     std::mutex mu;
     std::atomic<bool> dead{false};
     std::vector<Entry*> entries;
+    /// The serial-irrevocable token (RetryPolicy rung 3). Ordinary attempts
+    /// hold it shared (only taken when the rung is enabled — an uncontended
+    /// shared_mutex op per attempt); an escalated transaction holds it
+    /// exclusive, which drains every in-flight attempt first.
+    std::shared_mutex serial_gate;
   };
 
   struct Entry {
@@ -631,15 +765,81 @@ class Stm {
     shared_->entries.clear();
   }
 
+  /// One attempt, with the carried karma (RetryPolicy rung 2) credited to
+  /// the fresh descriptor as the first action inside the transaction.
+  template <typename F>
+  bool attempt_once(Ctx& ctx, TxKind kind, F& body, std::uint64_t carried) {
+    if (carried == 0) return Adapter::attempt(*rt_, ctx, kind, body);
+    auto wrapped = [&](typename Adapter::Tx& handle) {
+      Adapter::credit_work(handle, carried);
+      body(handle);
+    };
+    return Adapter::attempt(*rt_, ctx, kind, wrapped);
+  }
+
+  /// The retry/escalation ladder (see RetryPolicy). A per-call budget
+  /// overrides the policy's and always wins over escalation.
   template <typename F>
   RunResult run_impl(TxKind kind, F& body, std::uint32_t max_attempts) {
     Ctx& ctx = thread_ctx();
-    util::Backoff bo;
-    for (std::uint32_t attempt = 1;; ++attempt) {
-      if (Adapter::attempt(*rt_, ctx, kind, body)) return {attempt, true};
+    const RetryPolicy& pol = cfg_.retry;
+    if (max_attempts == 0) max_attempts = pol.max_attempts;
+    const int slot = ctx.slot();
+    util::ProgressTracker& watch = *progress_;
+    watch.tx_begin(slot);
+    std::uint32_t attempt = 1;
+    struct EndGuard {  // tx_end even when a foreign exception unwinds run()
+      util::ProgressTracker& watch;
+      int slot;
+      const std::uint32_t& attempt;
+      ~EndGuard() { watch.tx_end(slot, attempt); }
+    } end_guard{watch, slot, attempt};
+
+    util::Backoff bo(pol.backoff_min_spins > 0 ? pol.backoff_min_spins : 1,
+                     pol.backoff_max_spins, detail::backoff_seed(slot));
+    std::uint64_t carried = 0;
+    for (;; ++attempt) {
+      watch.note_attempt(slot, attempt);
+      if (serial_after_ != 0 && attempt > serial_after_) {
+        // Rung 3: take the token exclusively (drains all in-flight shared
+        // attempts), suppress fault injection, and retry under the token
+        // until commit. With no façade rival running and no injection, an
+        // attempt can only abort through raw-runtime users outside the
+        // façade — and those cannot do so forever, since each such abort
+        // consumes one of THEIR protocol steps; in the common all-façade
+        // case the first serial attempt commits.
+        std::unique_lock<std::shared_mutex> serial(shared_->serial_gate);
+        fault::SuppressGuard suppress;
+        watch.note_serial(slot);
+        for (;; ++attempt) {
+          watch.note_attempt(slot, attempt);
+          if (attempt_once(ctx, kind, body, carried)) return {attempt, true};
+          if (max_attempts != 0 && attempt >= max_attempts) {
+            return {attempt, false};
+          }
+        }
+      }
+      bool committed;
+      if (serial_after_ != 0) {
+        std::shared_lock<std::shared_mutex> gate(shared_->serial_gate);
+        committed = attempt_once(ctx, kind, body, carried);
+      } else {
+        committed = attempt_once(ctx, kind, body, carried);
+      }
+      if (committed) return {attempt, true};
       if (max_attempts != 0 && attempt >= max_attempts) {
         return {attempt, false};
       }
+      if (pol.cm_escalate_after != 0 && attempt >= pol.cm_escalate_after) {
+        carried = attempt;  // rung 2: karma credit for the next attempt
+      }
+      // Deliberately NO backoff reset on escalation: past the spin cap the
+      // episodes are sched_yield, and a starved transaction's rivals are
+      // usually *mid-transaction on this core* (threads > cores). Hot
+      // retries here would burn whole scheduler quanta that the owner
+      // needs to finish — measured as a ~1000x slowdown of the history
+      // workload on the 1-CPU CI box. Priority comes from the karma
+      // credit (the CM favors the starved side), not from retry rate.
       bo.pause();
     }
   }
@@ -647,6 +847,8 @@ class Stm {
   CommonConfig cfg_;
   std::unique_ptr<R> rt_;
   std::shared_ptr<Shared> shared_;
+  std::unique_ptr<util::ProgressTracker> progress_;
+  std::uint32_t serial_after_ = 0;
   std::uint64_t id_ = 0;
 };
 
@@ -792,6 +994,7 @@ struct AnyStmBase {
                         std::uint32_t max_attempts) = 0;
   virtual util::StatsSnapshot stats() const = 0;
   virtual void reset_stats() = 0;
+  virtual util::ProgressTracker::Snapshot progress() const = 0;
   virtual const CommonConfig& config() const = 0;
 };
 
@@ -836,6 +1039,10 @@ class AnyStm {
   const CommonConfig& config() const { return impl_->config(); }
   util::StatsSnapshot stats() const { return impl_->stats(); }
   void reset_stats() { impl_->reset_stats(); }
+  /// Starvation-watchdog snapshot (see Stm<R>::progress).
+  util::ProgressTracker::Snapshot progress() const {
+    return impl_->progress();
+  }
 
  private:
   AnyStm(std::unique_ptr<detail::AnyStmBase> impl, std::string name)

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "cm/contention_manager.hpp"
+#include "fault/failpoint.hpp"
 #include "history/recorder.hpp"
 #include "object/object_store.hpp"
 #include "runtime/payload.hpp"
@@ -249,6 +250,11 @@ class RuntimeT {
         return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
+      } catch (...) {
+        // Foreign exception out of the body: release every ownership the
+        // attempt holds before letting it propagate.
+        if (ctx.in_transaction()) ctx.abort_attempt();
+        throw;
       }
     }
   }
@@ -391,8 +397,7 @@ typename RuntimeT<D>::Tx& RuntimeT<D>::ThreadCtx::begin() {
 template <typename D>
 void RuntimeT<D>::ThreadCtx::release_ownerships() {
   for (auto& w : tx_.write_set_) {
-    Locator* l = w.obj->loc.load(std::memory_order_acquire);
-    if (l->writer == tx_.desc_) rt_.settle(*w.obj, l, slot());
+    rt_.store_.release(*w.obj, tx_.desc_, slot());
   }
 }
 
@@ -459,8 +464,7 @@ void RuntimeT<D>::ThreadCtx::commit() {
   }
   d->finish_commit();
   for (auto& w : tx.write_set_) {
-    Locator* l = w.obj->loc.load(std::memory_order_acquire);
-    if (l->writer == d) rt_.settle(*w.obj, l, s);
+    rt_.store_.release(*w.obj, d, s);
   }
   vcp_ = d->ct;  // VCp ← T.ct (line 31)
   rt_.stats_.add(s, util::Counter::kCommits);
@@ -499,6 +503,9 @@ runtime::Payload& RuntimeT<D>::Tx::write_object(Object& o) {
   util::Backoff bo;
   std::uint32_t attempt = 0;
   for (;;) {
+    if (fault::poke(fault::Site::kCsAcquire) == fault::Effect::kAbort) {
+      fail(util::Counter::kAborts);
+    }
     Locator* l = o.loc.load(std::memory_order_acquire);
     if (l->writer != nullptr && l->writer != desc_) {
       switch (l->writer->status()) {

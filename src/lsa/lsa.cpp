@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "fault/failpoint.hpp"
+
 namespace zstm::lsa {
 
 namespace {
@@ -113,8 +115,7 @@ Tx& ThreadCtx::begin(bool read_only) {
 
 void ThreadCtx::release_ownerships() {
   for (auto& w : tx_.write_set_) {
-    Locator* l = w.obj->loc.load(std::memory_order_acquire);
-    if (l->writer == tx_.desc_) rt_.settle(*w.obj, l, slot());
+    rt_.release(*w.obj, tx_.desc_, slot());
   }
 }
 
@@ -196,8 +197,7 @@ void ThreadCtx::commit() {
     d->finish_commit();
     // Eagerly settle our own locators to shorten other threads' waits.
     for (auto& w : tx.write_set_) {
-      Locator* l = w.obj->loc.load(std::memory_order_acquire);
-      if (l->writer == d) rt.settle(*w.obj, l, s);
+      rt.release(*w.obj, d, s);
     }
     if (ct > last_serialization_) last_serialization_ = ct;
   } else {
@@ -284,6 +284,9 @@ runtime::Payload& Tx::write_object(Object& o) {
   util::Backoff bo;
   std::uint32_t attempt = 0;
   for (;;) {
+    if (fault::poke(fault::Site::kLsaAcquire) == fault::Effect::kAbort) {
+      fail(util::Counter::kAborts);
+    }
     Locator* l = o.loc.load(std::memory_order_acquire);
     if (l->writer != nullptr && l->writer != desc_) {
       switch (l->writer->status()) {

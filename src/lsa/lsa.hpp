@@ -301,6 +301,11 @@ class Runtime {
         return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
+      } catch (...) {
+        // Foreign exception out of the body: release every ownership the
+        // attempt holds before letting it propagate.
+        if (ctx.in_transaction()) ctx.abort_attempt();
+        throw;
       }
     }
   }
@@ -326,6 +331,13 @@ class Runtime {
   /// one. Safe to call concurrently; no-op if the locator moved on.
   void settle(Object& o, Locator* seen, int slot) {
     store_.settle(o, seen, slot);
+  }
+
+  /// Ownership release at transaction finish: settles until the locator no
+  /// longer references `writer` (see ObjectStore::release for why a single
+  /// settle is not enough under the settle-CAS failpoint).
+  void release(Object& o, const TxDesc* writer, int slot) {
+    store_.release(o, writer, slot);
   }
 
   Object* allocate_object(runtime::Payload* initial) {

@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/failpoint.hpp"
 #include "util/align.hpp"
 #include "util/stats.hpp"
 #include "util/thread_registry.hpp"
@@ -80,6 +81,9 @@ class NodePool {
   T* create(int slot, Args&&... args) {
     static_assert(alignof(T) <= kNodeAlign,
                   "pooled node type over-aligned for the slab layout");
+    if (fault::poke(fault::Site::kPoolAlloc) == fault::Effect::kOom) {
+      throw std::bad_alloc{};
+    }
     if (!enabled_) {
       count_miss(slot);
       return new T(std::forward<Args>(args)...);

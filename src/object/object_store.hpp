@@ -52,6 +52,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fault/failpoint.hpp"
 #include "object/node_pool.hpp"
 #include "object/versioned.hpp"
 #include "runtime/payload.hpp"
@@ -186,6 +187,15 @@ class ObjectStore {
     return raw;
   }
 
+  /// Visit every object ever allocated by this store (quiescence hooks:
+  /// S-STM's descriptor trim settles all locators through here). Holds the
+  /// allocation mutex for the duration — callers must be off the hot path.
+  template <typename F>
+  void for_each_object(F&& fn) {
+    std::lock_guard<std::mutex> lk(objects_mutex_);
+    for (auto& obj : objects_) fn(*obj);
+  }
+
   template <typename T, typename... MetaArgs>
   Var<T> make_var(T initial, MetaArgs&&... meta_args) {
     Object* o = allocate(new runtime::TypedPayload<T>(std::move(initial)),
@@ -253,6 +263,11 @@ class ObjectStore {
     settled->writer = nullptr;
     settled->tentative = nullptr;
     settled->committed = current;
+    if (fault::poke(fault::Site::kStoreSettleCas) ==
+        fault::Effect::kCasFail) {
+      put_spare_locator(slot, settled);  // behave exactly like a lost CAS
+      return;
+    }
     Locator* expected = seen;
     if (o.loc.compare_exchange_strong(expected, settled,
                                       std::memory_order_acq_rel)) {
@@ -268,6 +283,23 @@ class ObjectStore {
     }
   }
 
+  /// Release an ownership at transaction finish: settle until the locator
+  /// no longer references `writer`. One settle() suffices against real
+  /// races (a lost CAS means another thread already replaced the locator),
+  /// but the settle-CAS failpoint fails the CAS with the locator left in
+  /// place — and the finishing transaction's descriptor is retired (and
+  /// pool-reused) right after release, so a locator still pointing at it
+  /// would let a later settler read the *reused* descriptor's status and
+  /// resurrect a superseded version. The loop, not any single CAS attempt,
+  /// is the invariant the retirement relies on.
+  void release(Object& o, const Desc* writer, int slot) {
+    for (;;) {
+      Locator* l = o.loc.load(std::memory_order_acquire);
+      if (l->writer != writer) return;
+      settle(o, l, slot);
+    }
+  }
+
   /// Acquire write ownership: CAS `{writer, tentative, seen->committed}`
   /// over `seen`. On success the superseded locator is retired; on failure
   /// nothing is consumed (the caller still owns `tentative`, and the
@@ -280,6 +312,11 @@ class ObjectStore {
     nl->writer = writer;
     nl->tentative = tentative;
     nl->committed = seen->committed;
+    if (fault::poke(fault::Site::kStoreInstallCas) ==
+        fault::Effect::kCasFail) {
+      put_spare_locator(slot, nl);  // behave exactly like a lost CAS
+      return false;
+    }
     Locator* expected = seen;
     if (o.loc.compare_exchange_strong(expected, nl, order)) {
       retire_locator(slot, seen);

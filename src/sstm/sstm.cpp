@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/failpoint.hpp"
+
 namespace zstm::sstm {
 
 // ---------------------------------------------------------------------------
@@ -31,13 +33,96 @@ TxDesc* Runtime::allocate_desc(int slot) {
   const std::uint64_t id =
       sharded_ids_ ? id_clock_.unique_id(slot)
                    : tx_ids_.value.fetch_add(1, std::memory_order_relaxed) + 1;
-  auto desc = std::make_unique<TxDesc>(id, slot, domain_.zero());
-  TxDesc* raw = desc.get();
+  TxDesc* raw = pool_.create<TxDesc>(slot, id, slot, domain_.zero());
   {
     std::lock_guard<std::mutex> lk(descs_mutex_);
-    descs_.push_back(std::move(desc));
+    descs_.live.push_back(raw);
   }
   return raw;
+}
+
+std::size_t Runtime::descriptor_count() {
+  std::lock_guard<std::mutex> lk(descs_mutex_);
+  return descs_.live.size();
+}
+
+std::size_t Runtime::trim_descriptors() {
+  std::scoped_lock lk(descs_mutex_, commit_mutex_);
+  // Failpoints stay out of maintenance: an injected settle-CAS failure
+  // here would leave a locator referencing a descriptor we free below.
+  fault::SuppressGuard suppress;
+
+  // Quiescence check. Every attempt holds an epoch pin from begin() to
+  // finish_attempt(), and begin() allocates its descriptor (blocking on
+  // descs_mutex_, which we hold) *before* pinning — so "nothing pinned and
+  // every retained descriptor final" cannot be invalidated while we work.
+  // The descriptor scan additionally covers a thread inside allocate_desc's
+  // pre-pin window: its descriptor is already kActive.
+  for (int s = 0; s < cfg_.max_threads; ++s) {
+    if (epochs_.pinned(s)) return 0;
+  }
+  for (TxDesc* d : descs_.live) {
+    const runtime::TxStatus st = d->status();
+    if (st != runtime::TxStatus::kCommitted &&
+        st != runtime::TxStatus::kAborted) {
+      return 0;
+    }
+  }
+
+  // Fold every reader-list reference into per-version stamps. At
+  // quiescence a committed reader's predecessor closure is all-final, so
+  // its whole constraint reduces to a stamp merge (exactly
+  // note_predecessor's committed case); aborted readers carry none.
+  // Folding readers and past readers into one stamp is conservative for
+  // future *readers* of the version (they inherit reader-vs-reader
+  // constraints that never existed), which can only inflate timestamps and
+  // cause false aborts — never admit a non-serializable history.
+  std::vector<TxDesc*> work;
+  std::vector<TxDesc*> visited;
+  auto fold_into = [&](timebase::VcStamp& folded, TxDesc* r) {
+    work.clear();
+    visited.clear();
+    work.push_back(r);
+    while (!work.empty()) {
+      TxDesc* cur = work.back();
+      work.pop_back();
+      bool seen = false;
+      for (TxDesc* q : visited) seen |= (q == cur);
+      if (seen) continue;
+      visited.push_back(cur);
+      if (cur->status() != runtime::TxStatus::kCommitted) continue;
+      if (folded.dimension() == 0) {
+        folded = cur->ct;
+      } else {
+        folded.merge(cur->ct);
+      }
+      for (TxDesc* q : cur->preds_snapshot()) work.push_back(q);
+    }
+  };
+  store_.for_each_object([&](Object& o) {
+    // Settle any leftover locator first (a racing settle CAS may have been
+    // lost — or failpoint-suppressed — on the final attempt touching o),
+    // so no locator keeps a writer pointer into the freed descriptors.
+    Locator* l = o.loc.load(std::memory_order_acquire);
+    if (l->writer != nullptr) {
+      store_.settle(o, l, /*slot=*/0);
+      l = o.loc.load(std::memory_order_acquire);
+    }
+    for (Version* v = l->committed; v != nullptr;
+         v = v->prev.load(std::memory_order_acquire)) {
+      for (TxDesc* r : v->readers) fold_into(v->folded, r);
+      for (TxDesc* pr : v->past_readers) fold_into(v->folded, pr);
+      v->readers.clear();
+      v->readers.shrink_to_fit();
+      v->past_readers.clear();
+      v->past_readers.shrink_to_fit();
+    }
+  });
+
+  const std::size_t freed = descs_.live.size();
+  for (TxDesc* d : descs_.live) pool_.destroy(-1, d);
+  descs_.live.clear();
+  return freed;
 }
 
 std::unique_ptr<ThreadCtx> Runtime::attach() {
@@ -104,8 +189,7 @@ Tx& ThreadCtx::begin() {
 
 void ThreadCtx::release_ownerships() {
   for (auto& w : tx_.write_set_) {
-    Locator* l = w.obj->loc.load(std::memory_order_acquire);
-    if (l->writer == tx_.desc_) rt_.settle(*w.obj, l, slot());
+    rt_.store_.release(*w.obj, tx_.desc_, slot());
   }
 }
 
@@ -121,7 +205,7 @@ void ThreadCtx::finish_attempt(bool committed) {
     }
     rt_.recorder_.record(slot(), std::move(tx_.rec_));
   }
-  tx_.desc_ = nullptr;  // descriptor is runtime-retained, not freed
+  tx_.desc_ = nullptr;  // retained until a quiescent trim, not freed here
   epoch_guard_ = util::EpochManager::Guard();
 }
 
@@ -175,6 +259,9 @@ void ThreadCtx::commit() {
       // and records live ones as predecessor edges.
       for (TxDesc* r : snapshot) tx.note_predecessor(r);
       for (TxDesc* pr : base->past_readers) tx.note_predecessor(pr);
+      // Readers freed by a quiescent trim live on as the version's folded
+      // stamp (see absorb_past_readers for the dimension guard).
+      if (base->folded.dimension() != 0) d->ct.merge(base->folded);
     }
 
     // Re-process predecessors recorded earlier (at open time): any that
@@ -280,8 +367,7 @@ void ThreadCtx::commit() {
     }
     d->finish_commit();
     for (auto& w : tx.write_set_) {
-      Locator* l = w.obj->loc.load(std::memory_order_acquire);
-      if (l->writer == d) rt_.settle(*w.obj, l, s);
+      rt_.store_.release(*w.obj, d, s);
     }
   }
 
@@ -342,6 +428,10 @@ void Tx::note_predecessor(TxDesc* p) {
 }
 
 void Tx::absorb_past_readers(Version* v) {
+  // Stamps folded by a quiescent trim stand in for freed readers'
+  // descriptors (dimension 0 = no trim has touched this version; merge
+  // indexes `other` by our dimension, so the guard is load-bearing).
+  if (v->folded.dimension() != 0) desc_->ct.merge(v->folded);
   for (TxDesc* pr : v->past_readers) note_predecessor(pr);
 }
 
@@ -391,6 +481,9 @@ runtime::Payload& Tx::write_object(Object& o) {
   util::Backoff bo;
   std::uint32_t attempt = 0;
   for (;;) {
+    if (fault::poke(fault::Site::kSstmAcquire) == fault::Effect::kAbort) {
+      fail(util::Counter::kAborts);
+    }
     Locator* l = o.loc.load(std::memory_order_acquire);
     if (l->writer != nullptr && l->writer != desc_) {
       switch (l->writer->status()) {

@@ -27,8 +27,9 @@
 // DESIGN.md §4: update-commit validation+publication runs under a global
 // commit mutex instead of a CAS+helping protocol (publication itself is
 // still the single status CAS), reader lists are guarded by per-version
-// spin locks, and transaction descriptors are retained for the runtime's
-// lifetime so reader/past-reader lists never dangle. These are exactly the
+// spin locks, and transaction descriptors are retained until a quiescent
+// trim (Runtime::trim_descriptors) folds every reader-list reference into
+// per-version stamps, so the lists never dangle. These are exactly the
 // kind of costs the paper attributes to S-STM ("the runtime overhead ...
 // can be deemed prohibitive"), which bench_cs_overhead quantifies.
 #pragma once
@@ -70,7 +71,8 @@ struct Config {
   int retention_decay_period = 64;
   cm::Policy cm_policy = cm::Policy::kPolite;
   /// Slab-pool node allocation (DESIGN.md §7); ZSTM_POOL=0 overrides.
-  /// Descriptors stay runtime-retained either way (reader lists).
+  /// Descriptors are pool-backed and retained until a quiescent
+  /// Runtime::trim_descriptors() proves no reader list references them.
   bool use_node_pool = true;
   bool record_history = false;
   /// Topology-sharded transaction ids (identity only; serializability
@@ -125,6 +127,15 @@ struct VersionMeta {
   /// Visible readers of this version. Guarded by `readers_lock`.
   util::SpinLock readers_lock;
   std::vector<TxDesc*> readers;
+
+  /// Ordering constraints of finished readers, folded into a single stamp
+  /// by Runtime::trim_descriptors() before their descriptors are freed.
+  /// Dimension 0 until the first trim touches this version (VcStamp::merge
+  /// indexes `other` by *this* stamp's dimension, so consumers must guard
+  /// on dimension() != 0). Written only at quiescence; read without
+  /// locking by transactions, which is safe because trims only run when no
+  /// transaction is in flight.
+  timebase::VcStamp folded;
 };
 
 struct StoreTraits {
@@ -254,6 +265,11 @@ class Runtime {
         return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
+      } catch (...) {
+        // Foreign exception out of the body: release every ownership the
+        // attempt holds before letting it propagate.
+        if (ctx.in_transaction()) ctx.abort_attempt();
+        throw;
       }
     }
   }
@@ -267,6 +283,17 @@ class Runtime {
   util::StatsSnapshot stats() const { return stats_.snapshot(); }
   void reset_stats() { stats_.reset(); }
   history::History collect_history() const { return recorder_.collect(); }
+
+  /// Quiescence-based descriptor trim (the carried-over S-STM leak,
+  /// DESIGN.md §11): when no transaction is in flight, fold every finished
+  /// reader's ordering constraint into its version's `folded` stamp, clear
+  /// the reader/past-reader lists, settle any leftover locators, and
+  /// return the descriptors to the node pool. Returns the number of
+  /// descriptors freed; 0 if the runtime was not quiescent (an attempt was
+  /// live — the call is then a safe no-op and may be retried later).
+  std::size_t trim_descriptors();
+  /// Retained (not yet trimmed) descriptor count — test introspection.
+  std::size_t descriptor_count();
 
  private:
   friend class ThreadCtx;
@@ -300,17 +327,28 @@ class Runtime {
   timebase::ShardedClock id_clock_;
   bool sharded_ids_;
 
-  /// Descriptors are retained for the runtime's lifetime: reader lists and
-  /// past-reader lists may reference a descriptor long after its
-  /// transaction finished (see header comment).
+  /// Pool-backed descriptor storage. Reader and past-reader lists may
+  /// reference a descriptor long after its transaction finished, so
+  /// descriptors are retained until a quiescent trim_descriptors() folds
+  /// every such reference into per-version stamps (or until teardown).
+  struct DescArena {
+    explicit DescArena(object::NodePool& p) : pool(&p) {}
+    ~DescArena() {
+      for (TxDesc* d : live) pool->destroy(-1, d);
+    }
+    object::NodePool* pool;
+    std::deque<TxDesc*> live;
+  };
+
   std::mutex descs_mutex_;
-  std::deque<std::unique_ptr<TxDesc>> descs_;
+  /// Declared after pool_ (frees into it) and before store_ (the store's
+  /// destructor reads locator writers' status, so the descriptors must
+  /// still be alive when it runs).
+  DescArena descs_{pool_};
 
   /// Serializes update-commit validation + publication (see header).
   std::mutex commit_mutex_;
 
-  /// Declared after descs_: the store's destructor reads locator writers'
-  /// status, so the descriptors must still be alive when it runs.
   Store store_;
 };
 

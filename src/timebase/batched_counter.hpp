@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/failpoint.hpp"
 #include "util/align.hpp"
 
 namespace zstm::timebase {
@@ -127,6 +128,7 @@ class BatchedCounter {
   /// `stamp` must be an issued tick (the caller's own commit stamp).
   void fence_after(std::uint64_t stamp) {
     if (stamp == 0) return;
+    fault::poke(fault::Site::kTimebaseLeaseFence);  // delay-only site
     // First tick of the block after stamp's block.
     const std::uint64_t target = (((stamp - 1) / k_) + 1) * k_ + 1;
     for (auto& ps : slots_) {

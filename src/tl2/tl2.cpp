@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "fault/failpoint.hpp"
+
 namespace zstm::tl2 {
 
 namespace {
@@ -80,6 +82,9 @@ Object* Runtime::allocate_object(runtime::Payload* initial) {
 }
 
 void* Runtime::acquire_buf(int slot) {
+  if (fault::poke(fault::Site::kPoolAlloc) == fault::Effect::kOom) {
+    throw std::bad_alloc{};
+  }
   if (pool_.enabled()) return pool_.allocate(slot, kBufBytes);
   return ::operator new(kBufBytes,
                         std::align_val_t{runtime::Payload::kInlineAlign});
@@ -243,6 +248,13 @@ void ThreadCtx::commit() {
   for (const std::uint32_t st : stripes_) {
     auto& lw = rt_.lockword(st);
     bool ok = false;
+    if (fault::poke(fault::Site::kTl2StripeLock) ==
+        fault::Effect::kCasFail) {
+      // Behave exactly like a stripe that stayed locked past the spin
+      // budget: release what we hold and retry the whole transaction.
+      release_acquired(acquired);
+      fail(util::Counter::kValidationFails);
+    }
     for (int spin = 0; spin <= rt_.cfg_.commit_spin; ++spin) {
       std::uint64_t cur = lw.load(std::memory_order_acquire);
       if (locked(cur)) {
@@ -318,6 +330,10 @@ void ThreadCtx::commit() {
   }
 
   // 4. Read-set revalidation.
+  if (fault::poke(fault::Site::kTl2Revalidate) == fault::Effect::kAbort) {
+    release_acquired(acquired);  // behave like a failed revalidation
+    fail(util::Counter::kValidationFails);
+  }
   if (!skip_revalidation) {
     for (const auto& r : tx.read_set_) {
       for (std::uint32_t i = 0; i < r.obj->word_count; ++i) {

@@ -317,6 +317,11 @@ class Runtime {
         return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
+      } catch (...) {
+        // Foreign exception out of the body: release every ownership the
+        // attempt holds before letting it propagate.
+        if (ctx.in_transaction()) ctx.abort_attempt();
+        throw;
       }
     }
   }

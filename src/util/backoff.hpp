@@ -26,8 +26,14 @@ inline void cpu_relax() {
 
 class Backoff {
  public:
-  explicit Backoff(std::uint32_t min_spins = 4, std::uint32_t max_spins = 1024)
-      : limit_(min_spins), max_(max_spins) {}
+  /// `jitter_seed != 0` randomizes each episode uniformly over
+  /// (limit/2, limit] — randomized-exponential backoff, so two transactions
+  /// aborting each other don't wake in lockstep and re-collide forever.
+  /// The default (0) keeps the exact deterministic spin counts.
+  explicit Backoff(std::uint32_t min_spins = 4, std::uint32_t max_spins = 1024,
+                   std::uint64_t jitter_seed = 0)
+      : limit_(min_spins), min_(min_spins), max_(max_spins),
+        rng_(jitter_seed) {}
 
   /// One backoff episode; doubles the next episode up to the cap.
   void pause() {
@@ -36,17 +42,29 @@ class Backoff {
       std::this_thread::yield();
       return;
     }
-    for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    std::uint32_t spins = limit_;
+    if (rng_ != 0) {
+      // xorshift64: cheap, and private state means no sharing between
+      // backoff instances.
+      rng_ ^= rng_ << 13;
+      rng_ ^= rng_ >> 7;
+      rng_ ^= rng_ << 17;
+      spins = limit_ / 2 + 1 +
+              static_cast<std::uint32_t>(rng_ % (limit_ / 2 + 1));
+    }
+    for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
     limit_ *= 2;
   }
 
-  void reset() { limit_ = 4; }
+  void reset() { limit_ = min_; }
 
   std::uint32_t current_limit() const { return limit_; }
 
  private:
   std::uint32_t limit_;
+  std::uint32_t min_;
   std::uint32_t max_;
+  std::uint64_t rng_;
 };
 
 }  // namespace zstm::util

@@ -1,5 +1,7 @@
 #include "util/ebr.hpp"
 
+#include "fault/failpoint.hpp"
+
 namespace zstm::util {
 
 EpochManager::EpochManager(ThreadRegistry& registry, int collect_period)
@@ -36,6 +38,7 @@ bool EpochManager::pinned(int slot) const {
 }
 
 void EpochManager::retire_raw(int slot, void* p, Deleter deleter) {
+  fault::poke(fault::Site::kEbrRetire);  // delay-only site
   auto& st = slots_[static_cast<std::size_t>(slot)];
   garbage_[static_cast<std::size_t>(slot)].value.push_back(
       Retired{p, deleter, global_epoch_.value.load(std::memory_order_acquire)});

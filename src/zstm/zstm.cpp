@@ -1,5 +1,7 @@
 #include "zstm/zstm.hpp"
 
+#include "fault/failpoint.hpp"
+
 namespace zstm::zl {
 
 // ---------------------------------------------------------------------------
@@ -153,6 +155,7 @@ LongTx& ThreadCtx::begin_long() {
   long_epoch_guard_ = sub.epochs().pin_guard(s);
   // Startlong line 3: T.zc ← ++ZC — a fresh, unique zone number.
   tx.zc_ = rt_.zc_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
+  tx.zone_claimed_ = false;
   tx.write_set_.clear();
   if (sub.recorder().enabled()) {
     tx.rec_ = history::TxRecord{};
@@ -167,8 +170,7 @@ LongTx& ThreadCtx::begin_long() {
 
 void ThreadCtx::release_long_ownerships() {
   for (auto& w : long_tx_.write_set_) {
-    lsa::Locator* l = w.obj->loc.load(std::memory_order_acquire);
-    if (l->writer == long_tx_.desc_) rt_.lsa_.settle(*w.obj, l, slot());
+    rt_.lsa_.release(*w.obj, long_tx_.desc_, slot());
   }
 }
 
@@ -187,6 +189,22 @@ void ThreadCtx::finish_long_attempt(bool committed) {
 void ThreadCtx::abort_long_attempt() {
   long_tx_.desc_->finish_abort();
   release_long_ownerships();
+  if (long_tx_.zone_claimed_) {
+    // Retire the claimed zone as a committed no-op. Objects we opened keep
+    // o.zc = T.zc forever, and short transactions treat every zone in
+    // (CT, ZC] as active — without this bump a dead long transaction's
+    // zone stays active until some *other* long transaction commits past
+    // it, livelocking any short transaction that crosses it. Aborting is
+    // equivalent to committing the empty transaction at our slot in zone
+    // order, and CT ← max(CT, T.zc) imposes on older in-flight long
+    // transactions exactly the penalty an overtaking commit already does
+    // (Commitlong's "the one whose zone number was overtaken aborts").
+    std::uint64_t cur = rt_.ct_.value.load(std::memory_order_acquire);
+    while (cur < long_tx_.zc_ &&
+           !rt_.ct_.value.compare_exchange_weak(cur, long_tx_.zc_,
+                                                std::memory_order_acq_rel)) {
+    }
+  }
   rt_.lsa_.stats_domain().add(slot(), util::Counter::kAborts);
   rt_.lsa_.stats_domain().add(slot(), util::Counter::kLongAborts);
   finish_long_attempt(false);
@@ -245,8 +263,7 @@ void ThreadCtx::commit_long() {
   d->commit_ts = ct;
   d->finish_commit();  // the single CAS/store that publishes everything
   for (auto& w : tx.write_set_) {
-    lsa::Locator* l = w.obj->loc.load(std::memory_order_acquire);
-    if (l->writer == d) sub.settle(*w.obj, l, s);
+    sub.release(*w.obj, d, s);
   }
 
   rt_.set_lzc(s, tx.zc_);  // line 27: LZCp ← T.zc
@@ -282,6 +299,7 @@ void LongTx::claim_zone(lsa::Object& o) {
       throw TxAborted{};
     }
     if (o.zc.compare_exchange_weak(cur, zc_, std::memory_order_seq_cst)) {
+      zone_claimed_ = true;
       return;  // line 7: oi.zc ← T.zc
     }
   }
@@ -293,6 +311,10 @@ lsa::Locator* LongTx::acquire_ready_locator(lsa::Object& o) {
   util::Backoff bo;
   std::uint32_t attempt = 0;
   for (;;) {
+    if (fault::poke(fault::Site::kZlAcquire) == fault::Effect::kAbort) {
+      ctx_.abort_long_attempt();
+      throw TxAborted{};
+    }
     // seq_cst: second half of the Dekker pair started in claim_zone.
     lsa::Locator* l = o.loc.load(std::memory_order_seq_cst);
     if (l->writer == nullptr || l->writer == desc_) return l;

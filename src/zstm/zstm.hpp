@@ -100,6 +100,11 @@ class LongTx {
   ThreadCtx& ctx_;
   lsa::TxDesc* desc_ = nullptr;
   std::uint64_t zc_ = 0;
+  /// True once claim_zone stamped any object with zc_. An aborting attempt
+  /// that claimed objects must retire its zone (ThreadCtx::
+  /// abort_long_attempt), or the zone stays "active" forever and every
+  /// short transaction crossing it livelocks.
+  bool zone_claimed_ = false;
   std::vector<lsa::WriteEntry> write_set_;
   history::TxRecord rec_;
 };
@@ -167,6 +172,14 @@ class ThreadCtx {
   void commit_long();
   void abort_long_attempt();
 
+  /// Abort a half-finished short attempt without throwing (foreign-
+  /// exception unwind in the façade; the inner LSA attempt is the whole
+  /// short-transaction state).
+  void abort_short_attempt() { inner_->abort_attempt(); }
+
+  bool in_short_transaction() const { return inner_->in_transaction(); }
+  bool in_long_transaction() const { return long_tx_.descriptor() != nullptr; }
+
   int slot() const { return inner_->slot(); }
   Runtime& runtime() { return rt_; }
   /// LZCp: last zone this thread committed in (long or short).
@@ -216,6 +229,11 @@ class Runtime {
         return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
+      } catch (...) {
+        // Foreign exception out of the body: release every ownership the
+        // attempt holds before letting it propagate.
+        if (ctx.in_short_transaction()) ctx.abort_short_attempt();
+        throw;
       }
     }
   }
@@ -232,6 +250,12 @@ class Runtime {
         return {attempt, true};
       } catch (const TxAborted&) {
         bo.pause();
+      } catch (...) {
+        // Foreign exception out of the body: release every ownership the
+        // attempt holds (locators, the zone claim, the epoch pin) before
+        // letting it propagate.
+        if (ctx.in_long_transaction()) ctx.abort_long_attempt();
+        throw;
       }
     }
   }

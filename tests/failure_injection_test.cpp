@@ -84,10 +84,12 @@ TEST(FailureInjection, EnemyAbortStormPreservesCounts) {
   EXPECT_EQ(final_value, kThreads * kIncrements);
 }
 
-TEST(FailureInjection, AbortedLongLeavesZoneThatNextLongRetires) {
-  // A long transaction stamps objects with its zone and then dies. Shorts
-  // that would cross the dead zone keep conflicting (the zone looks
-  // active), until the next long transaction commits and CT moves past it.
+TEST(FailureInjection, AbortedLongRetiresItsOwnZone) {
+  // A long transaction stamps objects with its zone and then dies. Before
+  // PR 8 the zone stayed "active" until the *next* long commit moved CT —
+  // if no long ever came, shorts crossing the dead zone livelocked forever
+  // (DESIGN.md §11.2). The abort path now retires the claimed zone itself
+  // (CT <- max(CT, T.zc), the empty transaction committing in zone order).
   zl::Runtime rt;
   auto o1 = rt.make_var<int>(0);
   auto o2 = rt.make_var<int>(0);
@@ -98,20 +100,17 @@ TEST(FailureInjection, AbortedLongLeavesZoneThatNextLongRetires) {
   (void)dead.read(o1);                  // o1.zc = 1
   EXPECT_THROW(dead.abort(), zl::TxAborted);
 
-  // Zone 1 still looks active (CT = 0): a crossing short aborts.
-  zl::ShortTx& ts = ps->begin_short();
-  (void)ts.read(o1);  // adopts zone 1
-  EXPECT_THROW((void)ts.read(o2), zl::TxAborted);
-
-  // The next long transaction (zc = 2) commits and retires zone 1.
-  rt.run_long(*pl, [&](zl::LongTx& tx) { (void)tx.read(o2); });
-  EXPECT_EQ(rt.commit_time(), 2u);
-
-  // The same short now passes: both zones are in the past.
+  // The abort already moved CT past zone 1: a crossing short sees both
+  // zones in the past and commits without waiting for any future long.
+  EXPECT_EQ(rt.commit_time(), 1u);
   rt.run_short(*ps, [&](zl::ShortTx& tx) {
     (void)tx.read(o1);
     (void)tx.read(o2);
   });
+
+  // A later long transaction still advances CT past the retired zone.
+  rt.run_long(*pl, [&](zl::LongTx& tx) { (void)tx.read(o2); });
+  EXPECT_EQ(rt.commit_time(), 2u);
 }
 
 TEST(FailureInjection, SstmSurvivesKilledReaders) {

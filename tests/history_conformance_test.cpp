@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "api/stm_api.hpp"
+#include "fault/failpoint.hpp"
 #include "history/checkers.hpp"
 #include "stress_env.hpp"
 #include "util/rng.hpp"
@@ -209,6 +210,68 @@ TEST(HistoryConformance, EveryVariantSatisfiesItsCriterionUnderNewTimebases) {
       EXPECT_TRUE(res.ok) << "criterion violated under new timebase: "
                           << res.reason;
     });
+  }
+}
+
+TEST(HistoryConformance, EveryVariantSatisfiesItsCriterionUnderChaos) {
+  // Chaos mode (DESIGN.md §11): rerun the criterion battery with the
+  // failpoint registry sabotaging every protocol hot spot — injected
+  // aborts in the acquire/arbitrate loops and tl2 revalidation, spurious
+  // CAS failures in settle/install and the stripe locks, and full-rate
+  // delays at the delay-only sites to widen every race window. The
+  // criteria must hold anyway: failpoints may slow or retry transactions,
+  // never corrupt the histories they commit. The façade ladder runs with
+  // the serial-irrevocable rung enabled so chaos cannot starve a
+  // transaction forever (kExitThread and kOom stay out of the recipe —
+  // they unwind through the workload body, which is a different test's
+  // job: tests/exception_safety_test.cpp and fault_injection_test.cpp).
+  const std::uint64_t seed = harness_seed() ^ 0xC4405ull;
+  const int rounds = test_env::stress_rounds(150);
+
+  struct Recipe {
+    fault::Site site;
+    double prob;
+  };
+  constexpr Recipe kRecipe[] = {
+      {fault::Site::kStoreSettleCas, 0.2},
+      {fault::Site::kStoreInstallCas, 0.2},
+      {fault::Site::kLsaAcquire, 0.08},
+      {fault::Site::kCsAcquire, 0.08},
+      {fault::Site::kSstmAcquire, 0.08},
+      {fault::Site::kZlAcquire, 0.08},
+      {fault::Site::kTl2StripeLock, 0.2},
+      {fault::Site::kTl2Revalidate, 0.08},
+      {fault::Site::kTimebaseLeaseFence, 1.0},
+      {fault::Site::kEbrRetire, 1.0},
+  };
+
+  for (const std::string& name : api::variant_names()) {
+    SCOPED_TRACE(name + " [chaos] seed=" + std::to_string(seed) +
+                 " (replay: ZSTM_HISTORY_SEED=" + std::to_string(seed) + ")");
+    fault::registry().disarm_all();
+    fault::registry().set_seed(seed);
+    for (const Recipe& r : kRecipe) {
+      ASSERT_TRUE(fault::registry().arm(r.site, r.prob));
+    }
+
+    CommonConfig cfg;
+    cfg.max_threads = 8;
+    cfg.record_history = true;
+    cfg.retry.serial_after = 16;  // chaos must not starve anyone
+    if (name == "cs-r") cfg.plausible_entries = 2;
+
+    api::visit_variant(name, cfg, [&](auto tag, const char*, CommonConfig c) {
+      using S = typename decltype(tag)::type;
+      S stm(c);
+      const history::History h = run_workload(stm, seed, rounds);
+      EXPECT_GT(h.committed_count(), 0u);
+      const history::CheckResult res = apply_checker(criterion_for(name), h);
+      EXPECT_TRUE(res.ok) << "criterion violated under chaos: " << res.reason;
+    });
+    // The sabotage actually landed (the recipe covers every variant's
+    // protocol path, so a zero count would mean dead failpoints).
+    EXPECT_GT(fault::registry().triggers_total(), 0u);
+    fault::registry().disarm_all();
   }
 }
 
