@@ -1,136 +1,37 @@
-// Transactional sorted linked-list set — the classic STM data-structure
-// workload, built on the public Var<T> API (no STM internals).
+// Transactional set workload — now a thin client of the adt:: library
+// (src/adt/tmap.hpp), which was promoted from this example's hand-rolled
+// sorted list. Runs on any runtime variant through the façade.
 //
-//   $ ./tset [threads] [seconds] [keyrange]
+//   $ ./tset [variant] [threads] [seconds] [keyrange]
 //
-// Each node is a transactional object whose payload holds the key and a
-// handle to the next node; insert/remove/contains are short transactions,
-// and a Z-STM long transaction validates sortedness and recounts the set
-// while mutations continue.
+// Mutator threads insert/remove/lookup random keys with short update
+// transactions while the main thread audits the whole structure with
+// TxKind::kLong transactions (a real Z-STM long transaction under "zl";
+// an ordinary read-only transaction elsewhere) — the audit must always see
+// sorted buckets and, at the end, a size equal to the net inserts.
 #include <atomic>
-#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <vector>
 
-#include "core/stm.hpp"
+#include "adt/tmap.hpp"
+#include "api/stm_api.hpp"
 #include "util/rng.hpp"
 
-namespace {
-
-struct Node;
-using NodeVar = zstm::lsa::Var<Node>;
-
-struct Node {
-  long key = 0;
-  NodeVar next;  // null handle = end of list
-};
-
-class TSet {
- public:
-  explicit TSet(zstm::zl::Runtime& rt) : rt_(rt) {
-    // Sentinel head with -inf key simplifies edge cases.
-    head_ = rt_.make_var<Node>(Node{LONG_MIN, NodeVar{}});
-  }
-
-  bool insert(zstm::zl::ThreadCtx& th, long key) {
-    bool inserted = false;
-    rt_.run_short(th, [&](zstm::zl::ShortTx& tx) {
-      inserted = false;
-      NodeVar prev = head_;
-      Node cur = tx.read(prev);
-      while (cur.next.object() != nullptr) {
-        const Node nxt = tx.read(cur.next);
-        if (nxt.key >= key) break;
-        prev = cur.next;
-        cur = nxt;
-      }
-      if (cur.next.object() != nullptr && tx.read(cur.next).key == key) {
-        return;  // already present
-      }
-      NodeVar fresh = rt_.make_var<Node>(Node{key, cur.next});
-      tx.write(prev).next = fresh;
-      inserted = true;
-    });
-    return inserted;
-  }
-
-  bool remove(zstm::zl::ThreadCtx& th, long key) {
-    bool removed = false;
-    rt_.run_short(th, [&](zstm::zl::ShortTx& tx) {
-      removed = false;
-      NodeVar prev = head_;
-      Node cur = tx.read(prev);
-      while (cur.next.object() != nullptr) {
-        const Node nxt = tx.read(cur.next);
-        if (nxt.key == key) {
-          tx.write(prev).next = nxt.next;  // unlink
-          removed = true;
-          return;
-        }
-        if (nxt.key > key) return;
-        prev = cur.next;
-        cur = nxt;
-      }
-    });
-    return removed;
-  }
-
-  bool contains(zstm::zl::ThreadCtx& th, long key) {
-    bool found = false;
-    rt_.run_short(th, [&](zstm::zl::ShortTx& tx) {
-      found = false;
-      Node cur = tx.read(head_);
-      while (cur.next.object() != nullptr) {
-        const Node nxt = tx.read(cur.next);
-        if (nxt.key == key) {
-          found = true;
-          return;
-        }
-        if (nxt.key > key) return;
-        cur = nxt;
-      }
-    });
-    return found;
-  }
-
-  /// Long transaction: walk the whole list, verifying sortedness, and
-  /// return the size. Consistent even while shorts keep mutating.
-  long audit(zstm::zl::ThreadCtx& th, bool* sorted_out) {
-    long count = 0;
-    bool sorted = true;
-    rt_.run_long(th, [&](zstm::zl::LongTx& tx) {
-      count = 0;
-      sorted = true;
-      long last = LONG_MIN;
-      Node cur = tx.read(head_);
-      while (cur.next.object() != nullptr) {
-        const Node nxt = tx.read(cur.next);
-        if (nxt.key <= last) sorted = false;
-        last = nxt.key;
-        ++count;
-        cur = nxt;
-      }
-    });
-    *sorted_out = sorted;
-    return count;
-  }
-
- private:
-  zstm::zl::Runtime& rt_;
-  NodeVar head_;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  const double seconds = argc > 2 ? std::atof(argv[2]) : 1.0;
-  const long keyrange = argc > 3 ? std::atol(argv[3]) : 256;
+  using zstm::api::AnyStm;
+  using zstm::api::TxKind;
 
-  zstm::zl::Runtime rt;
-  TSet set(rt);
+  const char* variant = argc > 1 ? argv[1] : "zl";
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  const double seconds = argc > 3 ? std::atof(argv[3]) : 1.0;
+  const std::uint64_t keyrange = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                          : 256;
+
+  AnyStm stm = AnyStm::make(variant);
+  zstm::adt::TSet<AnyStm> set(stm, 16);
+  using Scratch = zstm::adt::TSet<AnyStm>::Scratch;
 
   std::atomic<bool> stop{false};
   std::atomic<long> net_inserts{0};
@@ -138,20 +39,27 @@ int main(int argc, char** argv) {
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      auto th = rt.attach();
       zstm::util::Xorshift rng(static_cast<std::uint64_t>(t) + 1);
       long my_net = 0;
       std::uint64_t my_ops = 0;
       while (!stop.load(std::memory_order_acquire)) {
-        const long key = static_cast<long>(
-            rng.next_below(static_cast<std::uint64_t>(keyrange)));
+        const std::uint64_t key = rng.next_below(keyrange);
         const double dice = rng.next_unit();
         if (dice < 0.4) {
-          my_net += set.insert(*th, key) ? 1 : 0;
+          bool inserted = false;
+          Scratch scratch;  // reused across retries of this insert
+          stm.run(TxKind::kUpdate, [&](auto& tx) {
+            inserted = set.insert(tx, key, &scratch);
+          });
+          my_net += inserted ? 1 : 0;
         } else if (dice < 0.8) {
-          my_net -= set.remove(*th, key) ? 1 : 0;
+          bool removed = false;
+          stm.run(TxKind::kUpdate,
+                  [&](auto& tx) { removed = set.erase(tx, key); });
+          my_net -= removed ? 1 : 0;
         } else {
-          (void)set.contains(*th, key);
+          stm.run(TxKind::kReadOnly,
+                  [&](auto& tx) { (void)set.contains(tx, key); });
         }
         ++my_ops;
       }
@@ -160,31 +68,38 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Periodic audits from the main thread while mutations run.
-  auto th = rt.attach();
+  // Periodic long-transaction audits from the main thread while the
+  // mutators run: every snapshot must be internally consistent.
   int audits = 0;
   bool always_sorted = true;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(
-                            static_cast<long>(seconds * 1000));
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<long>(seconds * 1000));
   while (std::chrono::steady_clock::now() < deadline) {
-    bool sorted = false;
-    (void)set.audit(*th, &sorted);
-    always_sorted &= sorted;
+    zstm::adt::TSet<AnyStm>::AuditResult a;
+    stm.run(TxKind::kLong, [&](auto& tx) { a = set.audit(tx); });
+    always_sorted &= a.sorted;
     ++audits;
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   stop.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
 
-  bool sorted = false;
-  const long size = set.audit(*th, &sorted);
-  std::printf("tset: %llu ops, %d live audits, final size %ld\n",
-              static_cast<unsigned long long>(ops.load()), audits, size);
-  std::printf("  sortedness: %s (all audits: %s)\n", sorted ? "OK" : "BROKEN",
+  zstm::adt::TSet<AnyStm>::AuditResult final_audit;
+  stm.run(TxKind::kLong, [&](auto& tx) { final_audit = set.audit(tx); });
+  std::printf("tset[%s]: %llu ops, %d live audits, final size %llu\n",
+              stm.name().c_str(), static_cast<unsigned long long>(ops.load()),
+              audits, static_cast<unsigned long long>(final_audit.size));
+  std::printf("  sortedness: %s (all audits: %s)\n",
+              final_audit.sorted ? "OK" : "BROKEN",
               always_sorted ? "OK" : "BROKEN");
   std::printf("  size matches net inserts: %s (%ld)\n",
-              size == net_inserts.load() ? "OK" : "BROKEN",
+              static_cast<long>(final_audit.size) == net_inserts.load()
+                  ? "OK"
+                  : "BROKEN",
               net_inserts.load());
-  return (sorted && always_sorted && size == net_inserts.load()) ? 0 : 1;
+  return (final_audit.sorted && always_sorted &&
+          static_cast<long>(final_audit.size) == net_inserts.load())
+             ? 0
+             : 1;
 }

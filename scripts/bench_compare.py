@@ -13,7 +13,8 @@ perf deltas on shared runners are noisy), 2 on unreadable/unmatched input.
 import json
 import sys
 
-ID_INT_FIELDS = {"threads", "r", "versions_kept", "batch", "shards", "stride"}
+ID_INT_FIELDS = {"threads", "r", "versions_kept", "batch", "shards", "stride",
+                 "rate"}
 
 
 def row_key(row):

@@ -1,0 +1,221 @@
+// kv_server — the STM-backed KV service under open-loop load (DESIGN.md
+// §12): for each requested runtime variant, stand the service up, preload
+// the keyspace, drive a paced Zipfian request mix at a fixed arrival rate,
+// and report throughput plus the latency tail (p50/p99/p999, measured from
+// scheduled arrival, so queueing delay is in the numbers).
+//
+//   ./kv_server [--variants=lsa,zl,...] [--rate=2000] [--duration-ms=1000]
+//               [--workers=2] [--keys=4096] [--zipf=0.99] [--poisson]
+//               [--put=0.15] [--del=0.02] [--multi=0.05] [--scan=0.01]
+//               [--transfer=0.07] [--multi-fanout=16] [--queue=16384]
+//               [--seed=1] [--json]
+//
+// `--json` writes BENCH_kv.json (scripts/bench_compare.py compatible; the
+// identity of a row is system + rate + threads + the stringified knobs).
+// Exit status is nonzero if any variant completes zero requests.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "server/kv_service.hpp"
+#include "server/load_gen.hpp"
+
+namespace {
+
+using namespace zstm;
+
+struct Args {
+  std::vector<std::string> variants;
+  int rate = 2000;
+  int duration_ms = 1000;
+  int workers = 2;
+  std::uint64_t keys = 4096;
+  double zipf = 0.99;
+  server::LoadMix mix;
+  std::uint32_t multi_fanout = 16;
+  std::size_t queue = 1 << 14;
+  bool poisson = false;
+  std::uint64_t seed = 1;
+  bool json = false;
+};
+
+bool parse_flag(const char* arg, const char* name, const char** value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split_csv(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += *p;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (parse_flag(argv[i], "--variants", &v) && v != nullptr) {
+      a.variants = split_csv(v);
+    } else if (parse_flag(argv[i], "--rate", &v) && v != nullptr) {
+      a.rate = std::atoi(v);
+    } else if (parse_flag(argv[i], "--duration-ms", &v) && v != nullptr) {
+      a.duration_ms = std::atoi(v);
+    } else if (parse_flag(argv[i], "--workers", &v) && v != nullptr) {
+      a.workers = std::atoi(v);
+    } else if (parse_flag(argv[i], "--keys", &v) && v != nullptr) {
+      a.keys = std::strtoull(v, nullptr, 10);
+    } else if (parse_flag(argv[i], "--zipf", &v) && v != nullptr) {
+      a.zipf = std::atof(v);
+    } else if (parse_flag(argv[i], "--put", &v) && v != nullptr) {
+      a.mix.put = std::atof(v);
+    } else if (parse_flag(argv[i], "--del", &v) && v != nullptr) {
+      a.mix.del = std::atof(v);
+    } else if (parse_flag(argv[i], "--multi", &v) && v != nullptr) {
+      a.mix.multi_get = std::atof(v);
+    } else if (parse_flag(argv[i], "--scan", &v) && v != nullptr) {
+      a.mix.scan = std::atof(v);
+    } else if (parse_flag(argv[i], "--transfer", &v) && v != nullptr) {
+      a.mix.transfer = std::atof(v);
+    } else if (parse_flag(argv[i], "--multi-fanout", &v) && v != nullptr) {
+      a.multi_fanout = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--queue", &v) && v != nullptr) {
+      a.queue = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (parse_flag(argv[i], "--seed", &v) && v != nullptr) {
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--poisson") == 0) {
+      a.poisson = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      a.json = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (a.variants.empty()) {
+    a.variants = api::variant_names();
+  }
+  return a;
+}
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  std::printf(
+      "kv_server: open-loop %d req/s for %d ms, %d workers, %llu keys, "
+      "zipf %.2f%s\n",
+      args.rate, args.duration_ms, args.workers,
+      static_cast<unsigned long long>(args.keys), args.zipf,
+      args.poisson ? ", poisson" : "");
+  std::printf("%-8s %10s %8s %8s %8s %9s %9s %9s %7s %6s\n", "system",
+              "thruput/s", "accepted", "shed", "p50us", "p99us", "p999us",
+              "maxus", "serial", "trims");
+
+  benchjson::Doc doc("kv");
+  bool failed = false;
+
+  for (const std::string& variant : args.variants) {
+    server::ServiceConfig scfg;
+    scfg.variant = variant;
+    scfg.workers = args.workers;
+    scfg.queue_capacity = args.queue;
+    scfg.buckets = 256;
+    scfg.stm.max_threads = args.workers + 4;  // workers + pacer/main/hk slack
+
+    server::KvService svc(scfg);
+    svc.preload(0, args.keys, 100);
+
+    server::LoadGenConfig lcfg;
+    lcfg.rate = static_cast<double>(args.rate);
+    lcfg.duration = std::chrono::milliseconds(args.duration_ms);
+    lcfg.keyspace = args.keys;
+    lcfg.zipf_theta = args.zipf;
+    lcfg.mix = args.mix;
+    lcfg.multi_fanout = args.multi_fanout;
+    lcfg.poisson = args.poisson;
+    lcfg.seed = args.seed;
+
+    svc.start();
+    const server::LoadGenResult load = server::run_open_loop(svc, lcfg);
+    svc.stop();
+
+    server::ServiceMetrics m = svc.metrics();
+    const double secs = static_cast<double>(load.elapsed_ns) / 1e9;
+    const double thruput =
+        secs > 0 ? static_cast<double>(m.completed) / secs : 0.0;
+    if (m.completed == 0) failed = true;
+
+    std::printf("%-8s %10.0f %8llu %8llu %8.1f %9.1f %9.1f %9.1f %7llu %6llu\n",
+                variant.c_str(), thruput,
+                static_cast<unsigned long long>(load.accepted),
+                static_cast<unsigned long long>(load.shed),
+                us(m.all.quantile(0.50)), us(m.all.quantile(0.99)),
+                us(m.all.quantile(0.999)), us(m.all.max()),
+                static_cast<unsigned long long>(m.progress.serial_entries),
+                static_cast<unsigned long long>(m.reclaimed_total));
+
+    auto& row = doc.row();
+    row.str("system", variant)
+        .num("threads", args.workers)
+        .num("rate", args.rate)
+        .str("zipf", std::to_string(args.zipf))
+        .str("keys", std::to_string(args.keys))
+        .num("offered", load.offered)
+        .num("accepted", load.accepted)
+        .num("shed", load.shed)
+        .num("completed", m.completed)
+        .num("throughput", thruput)
+        .num("p50_us", us(m.all.quantile(0.50)))
+        .num("p99_us", us(m.all.quantile(0.99)))
+        .num("p999_us", us(m.all.quantile(0.999)))
+        .num("max_us", us(m.all.max()))
+        .num("get_p99_us",
+             us(m.per_op[static_cast<std::size_t>(server::Op::kGet)].quantile(
+                 0.99)))
+        .num("put_p99_us",
+             us(m.per_op[static_cast<std::size_t>(server::Op::kPut)].quantile(
+                 0.99)))
+        .num("scan_p99_us",
+             us(m.per_op[static_cast<std::size_t>(server::Op::kScan)].quantile(
+                 0.99)))
+        .num("serial_entries", m.progress.serial_entries)
+        .num("max_attempts",
+             static_cast<std::uint64_t>(m.progress.max_attempts))
+        .num("trims", m.reclaimed_total)
+        .num("maintain_forced", m.maintain_forced)
+        .num("desc_retained", static_cast<std::uint64_t>(m.retained_last))
+        .num("desc_high_water",
+             static_cast<std::uint64_t>(m.retained_high_water));
+  }
+
+  if (args.json && !doc.write()) return 1;
+  if (failed) {
+    std::fprintf(stderr, "kv_server: a variant completed zero requests\n");
+    return 1;
+  }
+  return 0;
+}

@@ -78,6 +78,17 @@ namespace zstm::api {
 
 using runtime::RunResult;
 
+/// What one `maintain()` call did (DESIGN.md §12.4). `reclaimed` counts
+/// resources freed by this call; `retained` is a gauge of deferred
+/// resources still held afterwards (S-STM: transaction descriptors awaiting
+/// a quiescent trim; 0 on runtimes with nothing to defer). A long-running
+/// service watches `retained` to confirm the automatic trim keeps it
+/// bounded.
+struct MaintainResult {
+  std::size_t reclaimed = 0;
+  std::size_t retained = 0;
+};
+
 /// Transaction kind, declared at start (the paper's §5.3 requirement that
 /// the class be known up front). Long kinds select Z-STM's Algorithm 2;
 /// read-only kinds select LSA's declared-read-only path.
@@ -179,6 +190,12 @@ struct CommonConfig {
   /// selects the GV4/GV5-style single-CAS scheme with this stride
   /// (documented false-abort cost, never correctness).
   int tl2_clock_stride = 0;
+  /// Façade-level: every N commits a thread makes, it also runs
+  /// `maintain()` (S-STM's quiescent descriptor trim; a no-op elsewhere).
+  /// This is the fallback trigger for callers without a housekeeping
+  /// thread — the KV server uses both. 0 (default) disables it and keeps
+  /// the commit path free of the counter update.
+  std::uint32_t maintain_every = 0;
   /// Façade-level only (not lowered): the retry/escalation ladder.
   RetryPolicy retry;
 };
@@ -295,9 +312,24 @@ bool basic_attempt(Ctx& ctx, TxKind kind, F&& body) {
 /// Adapter<R>: the per-runtime glue. Each specialization provides
 ///   Runtime, Ctx, Var<T>, Object, Tx (the uniform handle),
 ///   name(), create(CommonConfig), attach(), make_object(),
-///   attempt(rt, ctx, kind, body) -> bool (one attempt; false = aborted).
+///   attempt(rt, ctx, kind, body) -> bool (one attempt; false = aborted),
+///   and optionally maintain(rt) (periodic housekeeping; defaulted to a
+///   no-op by maintain_or_default below).
 template <typename R>
 struct Adapter;
+
+/// Runs Adapter<R>::maintain when the specialization provides one (S-STM's
+/// descriptor trim); every other runtime's maintenance is fully handled by
+/// EBR + the node pool already, so the default is an empty report.
+template <typename A, typename Rt>
+MaintainResult maintain_or_default(Rt& rt) {
+  if constexpr (requires { A::maintain(rt); }) {
+    return A::maintain(rt);
+  } else {
+    (void)rt;
+    return {};
+  }
+}
 
 template <>
 struct Adapter<lsa::Runtime> {
@@ -404,6 +436,14 @@ struct Adapter<sstm::Runtime> {
   /// One transaction class; S-STM's serializability machinery does not
   /// distinguish declared-read-only transactions.
   static sstm::Tx& begin_native(Ctx& ctx, TxKind) { return ctx.begin(); }
+
+  /// Housekeeping hook: the quiescent descriptor trim (DESIGN.md §11.5).
+  /// Safe from any thread, attached or not; a no-op returning reclaimed=0
+  /// whenever an attempt is in flight.
+  static MaintainResult maintain(Runtime& rt) {
+    const std::size_t reclaimed = rt.trim_descriptors();
+    return {reclaimed, rt.descriptor_count()};
+  }
 
   template <typename F>
   static bool attempt(Runtime&, Ctx& ctx, TxKind kind, F&& body) {
@@ -591,6 +631,9 @@ class Stm {
         rt_(Adapter::create(cfg)),
         shared_(std::make_shared<Shared>()),
         progress_(std::make_unique<util::ProgressTracker>(cfg.max_threads)),
+        maint_counters_(cfg.maintain_every != 0
+                            ? static_cast<std::size_t>(cfg.max_threads)
+                            : 0),
         serial_after_(detail::resolve_serial_after(cfg.retry)),
         id_(next_id()) {}
 
@@ -603,6 +646,7 @@ class Stm {
         rt_(std::move(other.rt_)),
         shared_(std::move(other.shared_)),
         progress_(std::move(other.progress_)),
+        maint_counters_(std::move(other.maint_counters_)),
         serial_after_(other.serial_after_),
         id_(other.id_) {
     other.id_ = 0;  // the id travels with the runtime; the husk is inert
@@ -614,6 +658,7 @@ class Stm {
       rt_ = std::move(other.rt_);
       shared_ = std::move(other.shared_);
       progress_ = std::move(other.progress_);
+      maint_counters_ = std::move(other.maint_counters_);
       serial_after_ = other.serial_after_;
       id_ = other.id_;
       other.id_ = 0;
@@ -668,6 +713,28 @@ class Stm {
     return progress_->snapshot();
   }
   void reset_progress() { progress_->reset(); }
+
+  /// Periodic/idle housekeeping (DESIGN.md §12.4): on S-STM this is the
+  /// quiescent descriptor trim; on every other runtime a cheap no-op.
+  /// Callable from any thread — including one that never ran a
+  /// transaction, like a server's housekeeping thread — but never from
+  /// inside a transaction body.
+  ///
+  /// The plain call is opportunistic: S-STM's trim only succeeds at
+  /// quiescence, so under continuous load it may keep returning
+  /// reclaimed=0 while `retained` grows. `force = true` escalates exactly
+  /// like RetryPolicy rung 3: it takes the serial-irrevocable token
+  /// exclusively, draining every in-flight façade attempt, and trims in
+  /// the resulting quiet window. The drain guarantee needs the serial gate
+  /// active (`retry.serial_after != 0` or ZSTM_SERIAL_FALLBACK); with the
+  /// gate disabled a forced call degrades to the opportunistic one.
+  MaintainResult maintain(bool force = false) {
+    if (force && serial_after_ != 0) {
+      std::unique_lock<std::shared_mutex> drain(shared_->serial_gate);
+      return detail::maintain_or_default<Adapter>(*rt_);
+    }
+    return detail::maintain_or_default<Adapter>(*rt_);
+  }
 
  private:
   struct Entry;
@@ -813,7 +880,11 @@ class Stm {
         watch.note_serial(slot);
         for (;; ++attempt) {
           watch.note_attempt(slot, attempt);
-          if (attempt_once(ctx, kind, body, carried)) return {attempt, true};
+          if (attempt_once(ctx, kind, body, carried)) {
+            serial.unlock();
+            after_commit(slot);
+            return {attempt, true};
+          }
           if (max_attempts != 0 && attempt >= max_attempts) {
             return {attempt, false};
           }
@@ -826,7 +897,10 @@ class Stm {
       } else {
         committed = attempt_once(ctx, kind, body, carried);
       }
-      if (committed) return {attempt, true};
+      if (committed) {
+        after_commit(slot);
+        return {attempt, true};
+      }
       if (max_attempts != 0 && attempt >= max_attempts) {
         return {attempt, false};
       }
@@ -844,10 +918,28 @@ class Stm {
     }
   }
 
+  /// The every-N-commits maintenance fallback (CommonConfig::maintain_every,
+  /// DESIGN.md §12.4). Counters are per registry slot — only the slot's
+  /// owner thread touches its cell between attach and release, so the
+  /// relaxed ordering is about slot reuse across thread churn, not
+  /// concurrent increments.
+  void after_commit(int slot) {
+    if (maint_counters_.empty()) return;
+    auto& n = maint_counters_[static_cast<std::size_t>(slot)].value;
+    if (n.fetch_add(1, std::memory_order_relaxed) + 1 >=
+        cfg_.maintain_every) {
+      n.store(0, std::memory_order_relaxed);
+      maintain();
+    }
+  }
+
   CommonConfig cfg_;
   std::unique_ptr<R> rt_;
   std::shared_ptr<Shared> shared_;
   std::unique_ptr<util::ProgressTracker> progress_;
+  /// Sized max_threads when maintain_every != 0; empty (hook disabled and
+  /// commit path untouched) otherwise.
+  std::vector<util::Padded<std::atomic<std::uint32_t>>> maint_counters_;
   std::uint32_t serial_after_ = 0;
   std::uint64_t id_ = 0;
 };
@@ -996,6 +1088,7 @@ struct AnyStmBase {
   virtual void reset_stats() = 0;
   virtual util::ProgressTracker::Snapshot progress() const = 0;
   virtual const CommonConfig& config() const = 0;
+  virtual MaintainResult maintain(bool force) = 0;
 };
 
 }  // namespace detail
@@ -1042,6 +1135,10 @@ class AnyStm {
   /// Starvation-watchdog snapshot (see Stm<R>::progress).
   util::ProgressTracker::Snapshot progress() const {
     return impl_->progress();
+  }
+  /// Periodic/idle housekeeping (see Stm<R>::maintain).
+  MaintainResult maintain(bool force = false) {
+    return impl_->maintain(force);
   }
 
  private:

@@ -1,0 +1,113 @@
+// HDR-style latency histogram (ROADMAP: "p50/p99/p999 latency" for the KV
+// service under open-loop load).
+//
+// Log-linear bucketing: each power-of-two octave is split into
+// 2^kSubBits = 16 linear sub-buckets, so any recorded value lands in a
+// bucket whose width is at most value/16 — every quantile is reported with
+// <= 6.25% relative error, over the full uint64 nanosecond range, from a
+// fixed 8 KB table. record() is two shifts, a clz and one increment (no
+// allocation, no floating point), cheap enough for a per-request hot path.
+//
+// Threading: instances are NOT thread-safe. The intended pattern (the one
+// KvService uses) is one histogram per worker thread, merge()d by the
+// coordinator after the workers quiesce.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace zstm::util {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr std::uint64_t kSubCount = 1u << kSubBits;
+  // Octaves kSubBits..63 plus the exact [0, kSubCount) range.
+  static constexpr std::size_t kBuckets =
+      kSubCount + (64 - kSubBits) * kSubCount;
+
+  LatencyHistogram() : counts_(kBuckets, 0) {}
+
+  void record(std::uint64_t v) {
+    ++counts_[index_of(v)];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+    if (v < min_ || count_ == 1) min_ = v;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    if (other.count_ > 0) {
+      if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest sample (so the true sample value is
+  /// <= the returned one, within the bucket's 1/16 relative width).
+  /// 0 when empty.
+  std::uint64_t quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5);
+    if (target < 1) target = 1;
+    if (target > count_) target = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= target) {
+        const std::uint64_t hi = upper_bound(i);
+        return hi < max_ ? hi : max_;
+      }
+    }
+    return max_;
+  }
+
+  void reset() {
+    counts_.assign(kBuckets, 0);
+    count_ = sum_ = max_ = min_ = 0;
+  }
+
+  /// Bucket index of v (exposed for the unit tests).
+  static std::size_t index_of(std::uint64_t v) {
+    if (v < kSubCount) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);  // >= kSubBits
+    const int shift = msb - kSubBits;
+    const std::uint64_t sub = (v >> shift) - kSubCount;  // [0, kSubCount)
+    return kSubCount + static_cast<std::size_t>(shift) * kSubCount +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Largest value mapping to bucket i.
+  static std::uint64_t upper_bound(std::size_t i) {
+    if (i < kSubCount) return static_cast<std::uint64_t>(i);
+    const int shift = static_cast<int>((i - kSubCount) / kSubCount);
+    const std::uint64_t sub = (i - kSubCount) % kSubCount;
+    const std::uint64_t lo = (kSubCount + sub) << shift;
+    return lo + ((1ULL << shift) - 1);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = 0;
+};
+
+}  // namespace zstm::util

@@ -1,0 +1,97 @@
+// Zipfian key generator for skewed workloads (ROADMAP: "Zipfian/uniform
+// key skew" macro-workloads; used by the KV service's open-loop load
+// generator and the adt workload harness).
+//
+// Implements Gray et al.'s O(1)-per-sample rejection-free formula ("Quickly
+// Generating Billion-Record Synthetic Databases", SIGMOD '94), the same
+// scheme YCSB uses: a one-time O(n) zeta(n, theta) precomputation, then
+// each sample costs one PRNG draw and one pow(). theta in [0, 1) controls
+// the skew (0 = uniform, 0.99 = the YCSB default where ~10% of keys draw
+// ~90% of accesses). Determinism: the sequence is a pure function of
+// (n, theta, seed) — pinned by a unit test so recorded workloads replay.
+//
+// Raw Zipfian ranks cluster the hot keys at 0, 1, 2, ... — adjacent, so
+// they'd share hash-map buckets and cache lines, confusing skew effects
+// with collision effects. By default the rank is scrambled through a
+// splitmix64-style bijection-ish mix (mod n), scattering the hot set across
+// the keyspace while preserving the frequency distribution.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace zstm::util {
+
+class Zipfian {
+ public:
+  /// Keys are drawn from [0, n). theta in [0, 1): 0 = uniform; values are
+  /// clamped to [0, 0.999]. `scramble` spreads the hot ranks across the
+  /// keyspace (see header comment).
+  Zipfian(std::uint64_t n, double theta, std::uint64_t seed,
+          bool scramble = true)
+      : n_(n > 0 ? n : 1), rng_(seed), scramble_(scramble) {
+    if (theta < 0.0) theta = 0.0;
+    if (theta > 0.999) theta = 0.999;
+    theta_ = theta;
+    if (theta_ > 0.0) {
+      zetan_ = zeta(n_, theta_);
+      const double zeta2 = zeta(2, theta_);
+      alpha_ = 1.0 / (1.0 - theta_);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+             (1.0 - zeta2 / zetan_);
+    }
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Next key in [0, n).
+  std::uint64_t next() {
+    std::uint64_t rank;
+    if (theta_ == 0.0) {
+      // Uniform draws stay unscrambled: the mix below is a hash mod n, not
+      // a permutation, and its collisions would leave some keys unreachable
+      // — harmless under a heavy tail, visibly wrong under uniformity.
+      return rng_.next_below(n_);
+    } else {
+      const double u = rng_.next_unit();
+      const double uz = u * zetan_;
+      if (uz < 1.0) {
+        rank = 0;
+      } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+        rank = 1;
+      } else {
+        rank = static_cast<std::uint64_t>(
+            static_cast<double>(n_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        if (rank >= n_) rank = n_ - 1;
+      }
+    }
+    if (!scramble_) return rank;
+    // Mix (not a strict mod-n bijection; collisions merge a few ranks'
+    // masses, which preserves the heavy-tail shape the workloads need).
+    std::uint64_t s = rank + 0x2545f4914f6cdd1dULL;
+    return splitmix64(s) % n_;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_ = 0.0;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+  Xorshift rng_;
+  bool scramble_ = true;
+};
+
+}  // namespace zstm::util
