@@ -10,9 +10,21 @@
 //               [--transfer=0.07] [--multi-fanout=16] [--queue=16384]
 //               [--seed=1] [--json]
 //
-// `--json` writes BENCH_kv.json (scripts/bench_compare.py compatible; the
-// identity of a row is system + rate + threads + the stringified knobs).
-// Exit status is nonzero if any variant completes zero requests.
+// Networked mode (DESIGN.md §13.6) puts the epoll TCP front end between the
+// load generator and the service — same schedule, same mix, one extra hop:
+//
+//   ./kv_server --net [--port=0] [--io-threads=2] [--conns=8] [--idle-ms=0]
+//
+// Saturation sweep (§13.7): `--ramp` multiplies the arrival rate by
+// --ramp-step (default 2) from --rate up to --ramp-max, one --duration-ms
+// step each, and records the knee — the first rate where p99 exceeds
+// --knee-p99-us or anything is shed — per variant.
+//
+// `--json` writes BENCH_kv.json (in-process) or BENCH_kv_net.json (--net),
+// scripts/bench_compare.py compatible; the identity of a row is system +
+// rate + threads (+ transport/io_threads/conns/phase for net rows) + the
+// stringified knobs. Exit status is nonzero if any variant completes zero
+// requests.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +32,8 @@
 #include <vector>
 
 #include "bench/bench_json.hpp"
+#include "net/net_load_gen.hpp"
+#include "net/tcp_server.hpp"
 #include "server/kv_service.hpp"
 #include "server/load_gen.hpp"
 
@@ -40,6 +54,17 @@ struct Args {
   bool poisson = false;
   std::uint64_t seed = 1;
   bool json = false;
+  // --net
+  bool net = false;
+  int port = 0;
+  int io_threads = 2;
+  int conns = 8;
+  int idle_ms = 0;
+  // --ramp
+  bool ramp = false;
+  int ramp_max = 0;  ///< 0 = 32x the base rate
+  double ramp_step = 2.0;
+  double knee_p99_us = 50000.0;
 };
 
 bool parse_flag(const char* arg, const char* name, const char** value) {
@@ -103,10 +128,28 @@ Args parse_args(int argc, char** argv) {
       a.queue = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (parse_flag(argv[i], "--seed", &v) && v != nullptr) {
       a.seed = std::strtoull(v, nullptr, 10);
+    } else if (parse_flag(argv[i], "--port", &v) && v != nullptr) {
+      a.port = std::atoi(v);
+    } else if (parse_flag(argv[i], "--io-threads", &v) && v != nullptr) {
+      a.io_threads = std::atoi(v);
+    } else if (parse_flag(argv[i], "--conns", &v) && v != nullptr) {
+      a.conns = std::atoi(v);
+    } else if (parse_flag(argv[i], "--idle-ms", &v) && v != nullptr) {
+      a.idle_ms = std::atoi(v);
+    } else if (parse_flag(argv[i], "--ramp-max", &v) && v != nullptr) {
+      a.ramp_max = std::atoi(v);
+    } else if (parse_flag(argv[i], "--ramp-step", &v) && v != nullptr) {
+      a.ramp_step = std::atof(v);
+    } else if (parse_flag(argv[i], "--knee-p99-us", &v) && v != nullptr) {
+      a.knee_p99_us = std::atof(v);
     } else if (std::strcmp(argv[i], "--poisson") == 0) {
       a.poisson = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       a.json = true;
+    } else if (std::strcmp(argv[i], "--net") == 0) {
+      a.net = true;
+    } else if (std::strcmp(argv[i], "--ramp") == 0) {
+      a.ramp = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       std::exit(2);
@@ -115,10 +158,198 @@ Args parse_args(int argc, char** argv) {
   if (a.variants.empty()) {
     a.variants = api::variant_names();
   }
+  if (a.ramp_max <= 0) a.ramp_max = a.rate * 32;
+  if (a.ramp_step < 1.1) a.ramp_step = 1.1;
   return a;
 }
 
 double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+server::ServiceConfig service_config(const Args& args,
+                                     const std::string& variant) {
+  server::ServiceConfig scfg;
+  scfg.variant = variant;
+  scfg.workers = args.workers;
+  scfg.queue_capacity = args.queue;
+  scfg.buckets = 256;
+  scfg.stm.max_threads = args.workers + 4;  // workers + pacer/main/hk slack
+  return scfg;
+}
+
+server::LoadGenConfig load_config(const Args& args, int rate) {
+  server::LoadGenConfig lcfg;
+  lcfg.rate = static_cast<double>(rate);
+  lcfg.duration = std::chrono::milliseconds(args.duration_ms);
+  lcfg.keyspace = args.keys;
+  lcfg.zipf_theta = args.zipf;
+  lcfg.mix = args.mix;
+  lcfg.multi_fanout = args.multi_fanout;
+  lcfg.poisson = args.poisson;
+  lcfg.seed = args.seed;
+  return lcfg;
+}
+
+/// What ramp-knee detection needs from one (variant, rate) step.
+struct StepOut {
+  bool ok = false;        ///< completed at least one request
+  double p99_us = 0.0;
+  std::uint64_t shed = 0;  ///< all shed causes, client and server side
+};
+
+/// One in-process run. `phase` tags the row ("ramp"); nullptr keeps the
+/// classic BENCH_kv row identity untouched.
+StepOut run_inproc(const Args& args, const std::string& variant, int rate,
+                   const char* phase, benchjson::Doc& doc) {
+  server::KvService svc(service_config(args, variant));
+  svc.preload(0, args.keys, 100);
+
+  svc.start();
+  const server::LoadGenResult load =
+      server::run_open_loop(svc, load_config(args, rate));
+  svc.stop();
+
+  server::ServiceMetrics m = svc.metrics();
+  const double secs = static_cast<double>(load.elapsed_ns) / 1e9;
+  const double thruput =
+      secs > 0 ? static_cast<double>(m.completed) / secs : 0.0;
+
+  StepOut out;
+  out.ok = m.completed > 0;
+  out.p99_us = us(m.all.quantile(0.99));
+  out.shed = load.shed;
+
+  std::printf("%-8s %8d %10.0f %8llu %8llu %8.1f %9.1f %9.1f %9.1f %7llu %6llu\n",
+              variant.c_str(), rate, thruput,
+              static_cast<unsigned long long>(load.accepted),
+              static_cast<unsigned long long>(load.shed),
+              us(m.all.quantile(0.50)), us(m.all.quantile(0.99)),
+              us(m.all.quantile(0.999)), us(m.all.max()),
+              static_cast<unsigned long long>(m.progress.serial_entries),
+              static_cast<unsigned long long>(m.reclaimed_total));
+
+  auto& row = doc.row();
+  row.str("system", variant)
+      .num("threads", args.workers)
+      .num("rate", rate)
+      .str("zipf", std::to_string(args.zipf))
+      .str("keys", std::to_string(args.keys));
+  if (phase != nullptr) row.str("phase", phase);
+  row.num("offered", load.offered)
+      .num("accepted", load.accepted)
+      .num("shed", load.shed)
+      .num("completed", m.completed)
+      .num("throughput", thruput)
+      .num("p50_us", us(m.all.quantile(0.50)))
+      .num("p99_us", us(m.all.quantile(0.99)))
+      .num("p999_us", us(m.all.quantile(0.999)))
+      .num("max_us", us(m.all.max()))
+      .num("get_p99_us",
+           us(m.per_op[static_cast<std::size_t>(server::Op::kGet)].quantile(
+               0.99)))
+      .num("put_p99_us",
+           us(m.per_op[static_cast<std::size_t>(server::Op::kPut)].quantile(
+               0.99)))
+      .num("scan_p99_us",
+           us(m.per_op[static_cast<std::size_t>(server::Op::kScan)].quantile(
+               0.99)))
+      .num("serial_entries", m.progress.serial_entries)
+      .num("max_attempts", static_cast<std::uint64_t>(m.progress.max_attempts))
+      .num("trims", m.reclaimed_total)
+      .num("maintain_forced", m.maintain_forced)
+      .num("desc_retained", static_cast<std::uint64_t>(m.retained_last))
+      .num("desc_high_water",
+           static_cast<std::uint64_t>(m.retained_high_water));
+  return out;
+}
+
+/// One networked run: service + TcpServer on loopback, load over TCP.
+StepOut run_net(const Args& args, const std::string& variant, int rate,
+                const char* phase, benchjson::Doc& doc) {
+  StepOut out;
+
+  server::KvService svc(service_config(args, variant));
+  svc.preload(0, args.keys, 100);
+  svc.start();
+
+  net::NetConfig ncfg;
+  ncfg.port = static_cast<std::uint16_t>(args.port);
+  ncfg.io_threads = args.io_threads;
+  ncfg.idle_timeout = std::chrono::milliseconds(args.idle_ms);
+  net::TcpServer ts(svc, ncfg);
+  if (!ts.start()) {
+    std::fprintf(stderr, "kv_server: TCP server failed to start\n");
+    svc.stop();
+    return out;
+  }
+
+  const net::NetLoadResult load = net::run_net_open_loop(
+      "127.0.0.1", ts.port(), load_config(args, rate), args.conns);
+
+  ts.stop();  // before the service: in-flight completions target live loops
+  svc.stop();
+
+  const net::NetStats ns = ts.stats();
+  server::ServiceMetrics m = svc.metrics();
+  const double secs = static_cast<double>(load.elapsed_ns) / 1e9;
+  const double thruput =
+      secs > 0 ? static_cast<double>(load.responses) / secs : 0.0;
+  const std::uint64_t shed_total =
+      load.client_shed + load.server_shed + load.unflushed;
+
+  out.ok = load.all.count() > 0;
+  out.p99_us = us(load.all.quantile(0.99));
+  out.shed = shed_total;
+
+  std::printf("%-8s %8d %10.0f %8llu %8llu %8.1f %9.1f %9.1f %9.1f %7llu %6llu\n",
+              variant.c_str(), rate, thruput,
+              static_cast<unsigned long long>(load.responses),
+              static_cast<unsigned long long>(shed_total),
+              us(load.all.quantile(0.50)), us(load.all.quantile(0.99)),
+              us(load.all.quantile(0.999)), us(load.all.max()),
+              static_cast<unsigned long long>(m.progress.serial_entries),
+              static_cast<unsigned long long>(ns.protocol_errors));
+
+  const auto op_p99 = [&load](net::wire::Op op) {
+    return us(load.per_op[static_cast<int>(op)].quantile(0.99));
+  };
+
+  auto& row = doc.row();
+  row.str("system", variant)
+      .str("transport", "tcp")
+      .num("threads", args.workers)
+      .num("io_threads", args.io_threads)
+      .num("conns", args.conns)
+      .num("rate", rate)
+      .str("zipf", std::to_string(args.zipf))
+      .str("keys", std::to_string(args.keys))
+      .str("phase", phase != nullptr ? phase : "fixed")
+      .num("offered", load.offered)
+      .num("sent", load.sent)
+      .num("client_shed", load.client_shed)
+      .num("server_shed", load.server_shed)
+      .num("unflushed", load.unflushed)
+      .num("io_errors", load.io_errors)
+      .num("responses", load.responses)
+      .num("completed", m.completed)
+      .num("throughput", thruput)
+      .num("p50_us", us(load.all.quantile(0.50)))
+      .num("p99_us", us(load.all.quantile(0.99)))
+      .num("p999_us", us(load.all.quantile(0.999)))
+      .num("max_us", us(load.all.max()))
+      .num("get_p99_us", op_p99(net::wire::Op::kGet))
+      .num("put_p99_us", op_p99(net::wire::Op::kPut))
+      .num("scan_p99_us", op_p99(net::wire::Op::kScan))
+      .num("net_requests", ns.requests)
+      .num("net_responses", ns.responses)
+      .num("shed_backpressure", ns.shed_backpressure)
+      .num("shed_service", ns.shed_service)
+      .num("protocol_errors", ns.protocol_errors)
+      .num("conns_accepted", ns.conns_accepted)
+      .num("serial_entries", m.progress.serial_entries)
+      .num("max_attempts",
+           static_cast<std::uint64_t>(m.progress.max_attempts));
+  return out;
+}
 
 }  // namespace
 
@@ -127,89 +358,73 @@ int main(int argc, char** argv) {
 
   std::printf(
       "kv_server: open-loop %d req/s for %d ms, %d workers, %llu keys, "
-      "zipf %.2f%s\n",
+      "zipf %.2f%s%s%s\n",
       args.rate, args.duration_ms, args.workers,
       static_cast<unsigned long long>(args.keys), args.zipf,
-      args.poisson ? ", poisson" : "");
-  std::printf("%-8s %10s %8s %8s %8s %9s %9s %9s %7s %6s\n", "system",
-              "thruput/s", "accepted", "shed", "p50us", "p99us", "p999us",
-              "maxus", "serial", "trims");
+      args.poisson ? ", poisson" : "", args.net ? ", tcp loopback" : "",
+      args.ramp ? ", ramp" : "");
+  if (args.net) {
+    std::printf("net: %d io thread(s), %d conn(s)\n", args.io_threads,
+                args.conns);
+  }
+  std::printf("%-8s %8s %10s %8s %8s %8s %9s %9s %9s %7s %6s\n", "system",
+              "rate", "thruput/s", args.net ? "resps" : "accepted", "shed",
+              "p50us", "p99us", "p999us", "maxus", "serial",
+              args.net ? "proterr" : "trims");
 
-  benchjson::Doc doc("kv");
+  benchjson::Doc doc(args.net ? "kv_net" : "kv");
   bool failed = false;
 
+  const auto run_step = [&](const std::string& variant, int rate,
+                            const char* phase) {
+    return args.net ? run_net(args, variant, rate, phase, doc)
+                    : run_inproc(args, variant, rate, phase, doc);
+  };
+
   for (const std::string& variant : args.variants) {
-    server::ServiceConfig scfg;
-    scfg.variant = variant;
-    scfg.workers = args.workers;
-    scfg.queue_capacity = args.queue;
-    scfg.buckets = 256;
-    scfg.stm.max_threads = args.workers + 4;  // workers + pacer/main/hk slack
+    if (!args.ramp) {
+      if (!run_step(variant, args.rate, nullptr).ok) failed = true;
+      continue;
+    }
 
-    server::KvService svc(scfg);
-    svc.preload(0, args.keys, 100);
+    // Saturation sweep: geometric rate steps until the knee (or the cap).
+    // The knee is the first rate where the tail blows past the bound or
+    // anything at all is shed — the open-loop definition of "can't keep up".
+    int knee_rate = 0;
+    int last_rate = 0;
+    bool any_ok = false;
+    for (double r = args.rate; static_cast<int>(r) <= args.ramp_max;
+         r *= args.ramp_step) {
+      const int rate = static_cast<int>(r);
+      last_rate = rate;
+      const StepOut step = run_step(variant, rate, "ramp");
+      any_ok = any_ok || step.ok;
+      if (step.ok && (step.p99_us > args.knee_p99_us || step.shed > 0)) {
+        knee_rate = rate;
+        break;
+      }
+    }
+    if (!any_ok) failed = true;
 
-    server::LoadGenConfig lcfg;
-    lcfg.rate = static_cast<double>(args.rate);
-    lcfg.duration = std::chrono::milliseconds(args.duration_ms);
-    lcfg.keyspace = args.keys;
-    lcfg.zipf_theta = args.zipf;
-    lcfg.mix = args.mix;
-    lcfg.multi_fanout = args.multi_fanout;
-    lcfg.poisson = args.poisson;
-    lcfg.seed = args.seed;
-
-    svc.start();
-    const server::LoadGenResult load = server::run_open_loop(svc, lcfg);
-    svc.stop();
-
-    server::ServiceMetrics m = svc.metrics();
-    const double secs = static_cast<double>(load.elapsed_ns) / 1e9;
-    const double thruput =
-        secs > 0 ? static_cast<double>(m.completed) / secs : 0.0;
-    if (m.completed == 0) failed = true;
-
-    std::printf("%-8s %10.0f %8llu %8llu %8.1f %9.1f %9.1f %9.1f %7llu %6llu\n",
-                variant.c_str(), thruput,
-                static_cast<unsigned long long>(load.accepted),
-                static_cast<unsigned long long>(load.shed),
-                us(m.all.quantile(0.50)), us(m.all.quantile(0.99)),
-                us(m.all.quantile(0.999)), us(m.all.max()),
-                static_cast<unsigned long long>(m.progress.serial_entries),
-                static_cast<unsigned long long>(m.reclaimed_total));
+    std::printf("%-8s knee: %s%d req/s (p99 bound %.0f us)\n", variant.c_str(),
+                knee_rate > 0 ? "" : ">", knee_rate > 0 ? knee_rate : last_rate,
+                args.knee_p99_us);
 
     auto& row = doc.row();
-    row.str("system", variant)
-        .num("threads", args.workers)
+    row.str("system", variant).str("phase", "knee");
+    if (args.net) {
+      row.str("transport", "tcp")
+          .num("io_threads", args.io_threads)
+          .num("conns", args.conns);
+    }
+    row.num("threads", args.workers)
         .num("rate", args.rate)
         .str("zipf", std::to_string(args.zipf))
         .str("keys", std::to_string(args.keys))
-        .num("offered", load.offered)
-        .num("accepted", load.accepted)
-        .num("shed", load.shed)
-        .num("completed", m.completed)
-        .num("throughput", thruput)
-        .num("p50_us", us(m.all.quantile(0.50)))
-        .num("p99_us", us(m.all.quantile(0.99)))
-        .num("p999_us", us(m.all.quantile(0.999)))
-        .num("max_us", us(m.all.max()))
-        .num("get_p99_us",
-             us(m.per_op[static_cast<std::size_t>(server::Op::kGet)].quantile(
-                 0.99)))
-        .num("put_p99_us",
-             us(m.per_op[static_cast<std::size_t>(server::Op::kPut)].quantile(
-                 0.99)))
-        .num("scan_p99_us",
-             us(m.per_op[static_cast<std::size_t>(server::Op::kScan)].quantile(
-                 0.99)))
-        .num("serial_entries", m.progress.serial_entries)
-        .num("max_attempts",
-             static_cast<std::uint64_t>(m.progress.max_attempts))
-        .num("trims", m.reclaimed_total)
-        .num("maintain_forced", m.maintain_forced)
-        .num("desc_retained", static_cast<std::uint64_t>(m.retained_last))
-        .num("desc_high_water",
-             static_cast<std::uint64_t>(m.retained_high_water));
+        .num("knee_rate", knee_rate)
+        .num("knee_found", knee_rate > 0 ? 1 : 0)
+        .num("max_rate_tested", last_rate)
+        .num("knee_p99_bound_us", args.knee_p99_us);
   }
 
   if (args.json && !doc.write()) return 1;

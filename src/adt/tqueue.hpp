@@ -1,0 +1,170 @@
+// adt::TQueue — transactional MPMC FIFO built on the zstm::api façade
+// (ROADMAP: "transactional data-structure library", alongside adt::TMap).
+//
+// Structure: a singly-linked list of one-Var-per-element nodes with two
+// anchor Vars, `head_` and `tail_`, each an End{node, present} (the façades'
+// Var handles have no uniform null test, so presence is an explicit flag —
+// the same convention as TMap's Node::has_next). The FIFO invariant is the
+// usual two-pointer one: empty ⟺ neither anchor present; otherwise head_
+// names the oldest node and tail_ the newest.
+//
+// Conflict granularity: enqueue touches the tail anchor plus the last
+// node's link; dequeue touches the head anchor plus the first node. With
+// two or more elements the footprints are disjoint, so producers and
+// consumers proceed without conflicting — they only collide on the
+// empty/one-element transitions, where both anchors genuinely must move
+// together. There is deliberately no size counter Var: it would re-couple
+// every enqueue to every dequeue and erase exactly that independence
+// (size() instead walks the list — O(n), a read-only audit tool).
+//
+// All methods take the caller's transaction handle, so queue ops compose
+// with TMap ops (or several queues) in one atomic transaction. Retry
+// safety: enqueue allocates its node with make_var inside the transaction;
+// a body that the runtime retries would allocate again and leak the first
+// node to runtime teardown, so — exactly like TMap::put — a caller running
+// under a retrying façade loop passes a `Scratch` living outside `run` and
+// the same pre-allocated node is reused across attempts. Dequeued nodes
+// stay owned by the runtime (concurrent readers may still traverse them)
+// and are reclaimed at teardown, TMap::erase's lifecycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace zstm::adt {
+
+template <typename S, typename V = std::int64_t>
+class TQueue {
+ public:
+  struct Node;
+  using NodeVar = typename S::template Var<Node>;
+
+  struct Node {
+    V value{};
+    NodeVar next{};
+    bool has_next = false;
+  };
+
+  /// Anchor payload: a nullable node handle (see header comment).
+  struct End {
+    NodeVar node{};
+    bool present = false;
+  };
+  using EndVar = typename S::template Var<End>;
+
+  /// Enqueue scratch for retrying callers, TMap::Scratch's contract: the
+  /// node is allocated once on the first attempt and reused by retries of
+  /// the same body. After a commit the caller resets `allocated` before
+  /// reusing the Scratch for a different enqueue.
+  struct Scratch {
+    NodeVar node{};
+    bool allocated = false;
+  };
+
+  explicit TQueue(S& stm) : stm_(&stm) {
+    head_ = stm.template make_var<End>(End{});
+    tail_ = stm.template make_var<End>(End{});
+  }
+
+  template <typename Tx>
+  bool empty(Tx& tx) const {
+    return !tx.read(head_).present;
+  }
+
+  /// Append `value`. With a Scratch, the node allocated on the first
+  /// attempt is reused by retries of the same body; the caller must reset
+  /// `scratch->allocated = false` after the transaction commits before
+  /// reusing the Scratch for a different enqueue.
+  template <typename Tx>
+  void enqueue(Tx& tx, const V& value, Scratch* scratch = nullptr) {
+    Node fresh_node;
+    fresh_node.value = value;
+    NodeVar fresh;
+    if (scratch != nullptr && scratch->allocated) {
+      fresh = scratch->node;
+      tx.write(fresh, fresh_node);
+    } else {
+      fresh = stm_->template make_var<Node>(fresh_node);
+      if (scratch != nullptr) {
+        scratch->node = fresh;
+        scratch->allocated = true;
+      }
+    }
+    End tail = tx.read(tail_);
+    if (tail.present) {
+      Node& last = tx.write(tail.node);
+      last.next = fresh;
+      last.has_next = true;
+    } else {
+      End& h = tx.write(head_);
+      h.node = fresh;
+      h.present = true;
+    }
+    End& t = tx.write(tail_);
+    t.node = fresh;
+    t.present = true;
+  }
+
+  /// Pop the oldest element, or nullopt when empty. The unlinked node is
+  /// retained by the runtime (see header comment).
+  template <typename Tx>
+  std::optional<V> dequeue(Tx& tx) {
+    const End head = tx.read(head_);
+    if (!head.present) return std::nullopt;
+    const Node first = tx.read(head.node);
+    End& h = tx.write(head_);
+    if (first.has_next) {
+      h.node = first.next;
+    } else {
+      h.present = false;
+      tx.write(tail_).present = false;
+    }
+    return first.value;
+  }
+
+  /// Oldest element without removing it.
+  template <typename Tx>
+  std::optional<V> front(Tx& tx) const {
+    const End head = tx.read(head_);
+    if (!head.present) return std::nullopt;
+    return tx.read(head.node).value;
+  }
+
+  /// Element count by walking the list — O(n), for audits and tests; see
+  /// the header comment for why there is no counter Var.
+  template <typename Tx>
+  std::uint64_t size(Tx& tx) const {
+    std::uint64_t n = 0;
+    const End head = tx.read(head_);
+    if (!head.present) return 0;
+    Node cur = tx.read(head.node);
+    ++n;
+    while (cur.has_next) {
+      cur = tx.read(cur.next);
+      ++n;
+    }
+    return n;
+  }
+
+  /// Visit every element oldest-first: fn(value). Run under TxKind::kLong
+  /// this is a long read-only scan like TMap::for_each.
+  template <typename Tx, typename Fn>
+  void for_each(Tx& tx, Fn&& fn) const {
+    const End head = tx.read(head_);
+    if (!head.present) return;
+    Node cur = tx.read(head.node);
+    fn(cur.value);
+    while (cur.has_next) {
+      cur = tx.read(cur.next);
+      fn(cur.value);
+    }
+  }
+
+ private:
+  S* stm_;
+  EndVar head_{};
+  EndVar tail_{};
+};
+
+}  // namespace zstm::adt

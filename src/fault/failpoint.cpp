@@ -59,6 +59,16 @@ const SiteInfo kSites[static_cast<int>(Site::kCount)] = {
     {"timebase.lease_fence", kDelayBit, Effect::kDelay},
     {"ebr.retire", kDelayBit, Effect::kDelay},
     {"pool.alloc", effect_bit(Effect::kOom) | kDelayBit, Effect::kOom},
+    // Net-layer sites (DESIGN.md §13.5): CasFail = "this I/O step fails".
+    // The connection state machine has a recovery path for every one of
+    // them (short reads re-enter the incremental parser, short writes stay
+    // in the out-buffer, a dropped accept is just a closed fd), so no
+    // effect here can corrupt server state — that is what the torture and
+    // chaos `net` suites pin.
+    {"net.accept", kCasDelay, Effect::kCasFail},
+    {"net.read", kCasDelay, Effect::kCasFail},
+    {"net.write", kCasDelay, Effect::kCasFail},
+    {"net.conn_kill", effect_bit(Effect::kAbort) | kDelayBit, Effect::kAbort},
 };
 
 void bounded_spin(std::uint64_t h) {

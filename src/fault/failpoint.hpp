@@ -61,6 +61,13 @@ enum class Site : int {
   kTimebaseLeaseFence,  ///< BatchedCounter::fence_after (delay only)
   kEbrRetire,           ///< EpochManager::retire_raw (delay only)
   kPoolAlloc,           ///< NodePool::create / tl2 snapshot buffers (OOM)
+  // Networked front end (src/net/, DESIGN.md §13). In this layer the
+  // effects are reinterpreted against the wire, not a transaction:
+  // kCasFail means "take the failure path of this I/O step".
+  kNetAccept,    ///< acceptor: casfail = drop the fresh connection
+  kNetRead,      ///< event loop recv: casfail = short read (1 byte kept)
+  kNetWrite,     ///< event loop send: casfail = short write (1 byte sent)
+  kNetConnKill,  ///< per parsed request: abort = hard-close the connection
   kCount
 };
 

@@ -1,0 +1,186 @@
+#include "net/kv_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace zstm::net {
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+KvClient::~KvClient() { close(); }
+
+KvClient::KvClient(KvClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_req_id_(other.next_req_id_),
+      rbuf_(std::move(other.rbuf_)),
+      rbuf_off_(other.rbuf_off_) {}
+
+KvClient& KvClient::operator=(KvClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_req_id_ = other.next_req_id_;
+    rbuf_ = std::move(other.rbuf_);
+    rbuf_off_ = other.rbuf_off_;
+  }
+  return *this;
+}
+
+bool KvClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = connect_tcp(host, port);
+  return fd_ >= 0;
+}
+
+void KvClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+  rbuf_off_ = 0;
+}
+
+bool KvClient::send_raw(const void* data, std::size_t len) {
+  if (fd_ < 0) return false;
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    ssize_t n;
+    do {
+      n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool KvClient::recv_response(wire::Response* out) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    std::size_t consumed = 0;
+    const wire::Decode d = wire::decode_response(
+        rbuf_.data() + rbuf_off_, rbuf_.size() - rbuf_off_, out, &consumed);
+    if (d == wire::Decode::kFrame) {
+      rbuf_off_ += consumed;
+      if (rbuf_off_ == rbuf_.size()) {
+        rbuf_.clear();
+        rbuf_off_ = 0;
+      }
+      return true;
+    }
+    if (d == wire::Decode::kBad) {
+      close();
+      return false;
+    }
+    const std::size_t old = rbuf_.size();
+    rbuf_.resize(old + 4096);
+    ssize_t n;
+    do {
+      n = ::recv(fd_, rbuf_.data() + old, 4096, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      rbuf_.resize(old);
+      close();
+      return false;
+    }
+    rbuf_.resize(old + static_cast<std::size_t>(n));
+  }
+}
+
+KvClient::Result KvClient::call(wire::Op op, std::uint64_t key,
+                                std::uint64_t key2, std::int64_t value,
+                                std::uint32_t fanout) {
+  Result res;
+  if (fd_ < 0) return res;
+  wire::Request req;
+  req.op = op;
+  req.req_id = next_req_id_++;
+  req.key = key;
+  req.key2 = key2;
+  req.value = value;
+  req.fanout = fanout;
+  std::uint8_t buf[wire::kReqFrame];
+  const std::size_t len = wire::encode_request(req, buf);
+  if (!send_raw(buf, len)) return res;
+  wire::Response resp;
+  // One outstanding request per client: responses arrive in submission
+  // order, but verify the id anyway — a mismatch means the stream is
+  // corrupt and the connection is useless.
+  if (!recv_response(&resp) || resp.req_id != req.req_id) {
+    close();
+    return res;
+  }
+  res.transport_ok = true;
+  res.status = resp.status;
+  res.value = resp.value;
+  res.count = resp.count;
+  return res;
+}
+
+std::optional<std::int64_t> KvClient::get(std::uint64_t key) {
+  const Result r = call(wire::Op::kGet, key);
+  if (!r.ok()) return std::nullopt;
+  return r.value;
+}
+
+bool KvClient::put(std::uint64_t key, std::int64_t value) {
+  return call(wire::Op::kPut, key, 0, value).ok();
+}
+
+bool KvClient::del(std::uint64_t key) {
+  return call(wire::Op::kDel, key).ok();
+}
+
+KvClient::Result KvClient::multi_get(std::uint64_t first,
+                                     std::uint32_t fanout) {
+  return call(wire::Op::kMultiGet, first, 0, 0, fanout);
+}
+
+KvClient::Result KvClient::scan() { return call(wire::Op::kScan); }
+
+bool KvClient::transfer(std::uint64_t from, std::uint64_t to,
+                        std::int64_t amount) {
+  return call(wire::Op::kTransfer, from, to, amount).ok();
+}
+
+bool KvClient::ping(std::int64_t echo) {
+  const Result r = call(wire::Op::kPing, 0, 0, echo);
+  return r.ok() && r.value == echo;
+}
+
+KvClient::Result KvClient::stats() { return call(wire::Op::kStats); }
+
+}  // namespace zstm::net

@@ -1,0 +1,207 @@
+// Wire protocol for the networked KV front end (DESIGN.md §13.1).
+//
+// Length-prefixed fixed-size binary frames, explicit little-endian byte
+// order (encode/decode never type-puns, so the layout is identical on any
+// host):
+//
+//   frame    := u32 len | body[len]
+//   request  := u8 magic(0x5A) | u8 op | u64 req_id | u64 key | u64 key2
+//               | i64 value | u32 fanout                      (38 bytes)
+//   response := u8 magic(0xA5) | u8 op | u8 status | u64 req_id
+//               | i64 value | u64 count                       (27 bytes)
+//
+// Every service verb (get/put/del/multi_get/scan/transfer) plus `ping`
+// (liveness echo: value is returned unchanged) and `stats` (server-level
+// counters: value = requests completed, count = active connections) fits
+// the one fixed request shape; unused fields are zero. `req_id` is echoed
+// verbatim — the server may complete pipelined requests out of order
+// (responses come from whichever service worker finishes first), so the id
+// is the client's only correlation handle. The loopback load generator
+// exploits this by storing the *scheduled arrival time* in req_id: latency
+// is then `now - req_id` at receipt with no outstanding-request table.
+//
+// Robustness contract (the `net` torture suite pins it): a frame whose
+// length prefix is not exactly the request body size, whose magic or op is
+// unknown, is a *protocol error* — the server closes the connection without
+// allocating `len` bytes (an adversarial 0xFFFFFFFF prefix costs nothing)
+// and without disturbing any other connection. Truncated frames are not
+// errors: the incremental parser simply waits for the rest.
+//
+// Status values: kNotFound doubles as "op-specific false" (get miss, del of
+// an absent key, failed transfer) mirroring server::Response::ok; kShed
+// means the service ring or the connection's write buffer shed the request
+// (open-loop honesty travels the wire: an overloaded server says so rather
+// than silently dropping or blocking); kError is a decodable-but-
+// unserviceable request.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zstm::net::wire {
+
+constexpr std::uint8_t kReqMagic = 0x5A;
+constexpr std::uint8_t kRespMagic = 0xA5;
+
+enum class Op : std::uint8_t {
+  kGet = 0,
+  kPut,
+  kDel,
+  kMultiGet,
+  kScan,
+  kTransfer,
+  kPing,
+  kStats,
+  kCount
+};
+
+enum class Status : std::uint8_t {
+  kNotFound = 0,  ///< op-specific false (get miss / del miss / bad transfer)
+  kOk = 1,
+  kShed = 2,   ///< service ring full or write-buffer high-watermark
+  kError = 3,  ///< decodable but unserviceable
+};
+
+struct Request {
+  Op op = Op::kPing;
+  std::uint64_t req_id = 0;
+  std::uint64_t key = 0;
+  std::uint64_t key2 = 0;
+  std::int64_t value = 0;
+  std::uint32_t fanout = 0;
+};
+
+struct Response {
+  Op op = Op::kPing;
+  Status status = Status::kError;
+  std::uint64_t req_id = 0;
+  std::int64_t value = 0;
+  std::uint64_t count = 0;
+};
+
+constexpr std::size_t kLenBytes = 4;
+constexpr std::size_t kReqBody = 1 + 1 + 8 + 8 + 8 + 8 + 4;   // 38
+constexpr std::size_t kRespBody = 1 + 1 + 1 + 8 + 8 + 8;      // 27
+constexpr std::size_t kReqFrame = kLenBytes + kReqBody;
+constexpr std::size_t kRespFrame = kLenBytes + kRespBody;
+/// Largest length prefix the parser will ever consider sane. Anything
+/// larger is rejected before any buffering happens.
+constexpr std::uint32_t kMaxFrame = 512;
+
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+/// Encodes into `buf` (>= kReqFrame bytes). Returns bytes written.
+inline std::size_t encode_request(const Request& r, std::uint8_t* buf) {
+  put_u32(buf, static_cast<std::uint32_t>(kReqBody));
+  std::uint8_t* p = buf + kLenBytes;
+  p[0] = kReqMagic;
+  p[1] = static_cast<std::uint8_t>(r.op);
+  put_u64(p + 2, r.req_id);
+  put_u64(p + 10, r.key);
+  put_u64(p + 18, r.key2);
+  put_u64(p + 26, static_cast<std::uint64_t>(r.value));
+  put_u32(p + 34, r.fanout);
+  return kReqFrame;
+}
+
+/// Encodes into `buf` (>= kRespFrame bytes). Returns bytes written.
+inline std::size_t encode_response(const Response& r, std::uint8_t* buf) {
+  put_u32(buf, static_cast<std::uint32_t>(kRespBody));
+  std::uint8_t* p = buf + kLenBytes;
+  p[0] = kRespMagic;
+  p[1] = static_cast<std::uint8_t>(r.op);
+  p[2] = static_cast<std::uint8_t>(r.status);
+  put_u64(p + 3, r.req_id);
+  put_u64(p + 11, static_cast<std::uint64_t>(r.value));
+  put_u64(p + 19, r.count);
+  return kRespFrame;
+}
+
+enum class Decode {
+  kNeedMore,  ///< not a full frame yet; nothing consumed
+  kFrame,     ///< one frame decoded; *consumed bytes eaten
+  kBad,       ///< protocol error; close the connection
+};
+
+/// Incremental request decode over [buf, buf+len). On kFrame, *consumed is
+/// the whole frame (prefix + body). Strict: the length prefix must be
+/// exactly kReqBody (the protocol has one request shape) and magic/op must
+/// be valid — anything else, including an adversarially huge prefix, is
+/// kBad immediately.
+inline Decode decode_request(const std::uint8_t* buf, std::size_t len,
+                             Request* out, std::size_t* consumed) {
+  if (len < kLenBytes) return Decode::kNeedMore;
+  const std::uint32_t body = get_u32(buf);
+  if (body != kReqBody) return Decode::kBad;  // also rejects > kMaxFrame
+  if (len < kLenBytes + body) return Decode::kNeedMore;
+  const std::uint8_t* p = buf + kLenBytes;
+  if (p[0] != kReqMagic) return Decode::kBad;
+  if (p[1] >= static_cast<std::uint8_t>(Op::kCount)) return Decode::kBad;
+  out->op = static_cast<Op>(p[1]);
+  out->req_id = get_u64(p + 2);
+  out->key = get_u64(p + 10);
+  out->key2 = get_u64(p + 18);
+  out->value = static_cast<std::int64_t>(get_u64(p + 26));
+  out->fanout = get_u32(p + 34);
+  *consumed = kLenBytes + body;
+  return Decode::kFrame;
+}
+
+/// Incremental response decode (client side), same contract.
+inline Decode decode_response(const std::uint8_t* buf, std::size_t len,
+                              Response* out, std::size_t* consumed) {
+  if (len < kLenBytes) return Decode::kNeedMore;
+  const std::uint32_t body = get_u32(buf);
+  if (body != kRespBody) return Decode::kBad;
+  if (len < kLenBytes + body) return Decode::kNeedMore;
+  const std::uint8_t* p = buf + kLenBytes;
+  if (p[0] != kRespMagic) return Decode::kBad;
+  if (p[1] >= static_cast<std::uint8_t>(Op::kCount)) return Decode::kBad;
+  if (p[2] > static_cast<std::uint8_t>(Status::kError)) return Decode::kBad;
+  out->op = static_cast<Op>(p[1]);
+  out->status = static_cast<Status>(p[2]);
+  out->req_id = get_u64(p + 3);
+  out->value = static_cast<std::int64_t>(get_u64(p + 11));
+  out->count = get_u64(p + 19);
+  *consumed = kLenBytes + body;
+  return Decode::kFrame;
+}
+
+inline const char* op_name(Op op) {
+  switch (op) {
+    case Op::kGet:      return "get";
+    case Op::kPut:      return "put";
+    case Op::kDel:      return "del";
+    case Op::kMultiGet: return "multi_get";
+    case Op::kScan:     return "scan";
+    case Op::kTransfer: return "transfer";
+    case Op::kPing:     return "ping";
+    case Op::kStats:    return "stats";
+    case Op::kCount:    break;
+  }
+  return "?";
+}
+
+}  // namespace zstm::net::wire

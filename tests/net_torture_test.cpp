@@ -1,0 +1,283 @@
+// Wire-protocol torture for the networked KV front end (DESIGN.md §13.4):
+// malformed frames, truncated length prefixes, adversarially huge length
+// prefixes, unknown ops, byte-at-a-time sends, mid-request disconnects,
+// pipelined bursts, and seeded garbage fuzzing. The contract under attack:
+// the server never crashes, never leaks a connection slot, and never
+// corrupts an unrelated connection's request/response stream.
+//
+// CTest label: `net`.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/kv_client.hpp"
+#include "net/tcp_server.hpp"
+#include "net/wire.hpp"
+#include "server/kv_service.hpp"
+#include "stress_env.hpp"
+#include "util/rng.hpp"
+
+namespace zstm::net {
+namespace {
+
+server::ServiceConfig torture_config() {
+  server::ServiceConfig cfg;
+  cfg.variant = "lsa";
+  cfg.workers = 2;
+  cfg.queue_capacity = 1 << 12;
+  cfg.buckets = 64;
+  cfg.stm.max_threads = 8;
+  return cfg;
+}
+
+struct Rig {
+  server::KvService svc;
+  TcpServer ts;
+
+  explicit Rig(NetConfig ncfg = {}) : svc(torture_config()), ts(svc, ncfg) {
+    svc.preload(0, 64, 100);
+    svc.start();
+    EXPECT_TRUE(ts.start());
+  }
+  ~Rig() {
+    ts.stop();
+    svc.stop();
+  }
+  KvClient client() {
+    KvClient c;
+    EXPECT_TRUE(c.connect("127.0.0.1", ts.port()));
+    return c;
+  }
+};
+
+void wait_active_conns(const TcpServer& ts, std::uint64_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (ts.stats().conns_active != want &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ts.stats().conns_active, want);
+}
+
+/// Sends `bytes` on a fresh connection and expects the server to close it
+/// (protocol error) while a bystander connection keeps working.
+void expect_close_on(Rig& rig, const std::vector<std::uint8_t>& bytes) {
+  KvClient bystander = rig.client();
+  ASSERT_TRUE(bystander.ping(1));
+  const std::uint64_t errors_before = rig.ts.stats().protocol_errors;
+
+  KvClient attacker = rig.client();
+  ASSERT_TRUE(attacker.send_raw(bytes.data(), bytes.size()));
+  wire::Response resp;
+  EXPECT_FALSE(attacker.recv_response(&resp));  // EOF (or a garbage frame)
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (rig.ts.stats().protocol_errors == errors_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(rig.ts.stats().protocol_errors, errors_before);
+
+  // The bystander's stream is untouched.
+  EXPECT_TRUE(bystander.ping(2));
+  auto v = bystander.get(7);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 100);
+}
+
+std::vector<std::uint8_t> valid_get_frame(std::uint64_t req_id,
+                                          std::uint64_t key) {
+  wire::Request req;
+  req.op = wire::Op::kGet;
+  req.req_id = req_id;
+  req.key = key;
+  std::uint8_t buf[wire::kReqFrame];
+  wire::encode_request(req, buf);
+  return std::vector<std::uint8_t>(buf, buf + wire::kReqFrame);
+}
+
+TEST(NetTorture, BadMagicClosesOnlyThatConnection) {
+  Rig rig;
+  std::vector<std::uint8_t> f = valid_get_frame(1, 7);
+  f[wire::kLenBytes] = 0x00;  // wrong magic
+  expect_close_on(rig, f);
+}
+
+TEST(NetTorture, UnknownOpCloses) {
+  Rig rig;
+  std::vector<std::uint8_t> f = valid_get_frame(1, 7);
+  f[wire::kLenBytes + 1] = 200;  // op out of range
+  expect_close_on(rig, f);
+}
+
+TEST(NetTorture, WrongLengthPrefixCloses) {
+  Rig rig;
+  std::vector<std::uint8_t> f = valid_get_frame(1, 7);
+  wire::put_u32(f.data(), 10);  // not the one request body size
+  expect_close_on(rig, f);
+}
+
+TEST(NetTorture, HugeLengthPrefixCloses) {
+  // An adversarial 0xFFFFFFFF prefix must be rejected on sight — the
+  // strict decoder never tries to buffer it.
+  Rig rig;
+  std::vector<std::uint8_t> f(wire::kLenBytes, 0xFF);
+  expect_close_on(rig, f);
+}
+
+TEST(NetTorture, OversizedFanoutAnswersErrorAndStaysOpen) {
+  // Decodable but unserviceable is NOT a protocol error: the connection
+  // survives with a kError response.
+  Rig rig;
+  KvClient c = rig.client();
+  const KvClient::Result r =
+      c.call(wire::Op::kMultiGet, 0, 0, 0, 1u << 20);
+  EXPECT_TRUE(r.transport_ok);
+  EXPECT_EQ(r.status, wire::Status::kError);
+  EXPECT_TRUE(c.ping(3));  // still open
+  EXPECT_EQ(rig.ts.stats().protocol_errors, 0u);
+}
+
+TEST(NetTorture, TruncatedFrameWaitsForTheRest) {
+  Rig rig;
+  KvClient c = rig.client();
+  const std::vector<std::uint8_t> f = valid_get_frame(42, 7);
+
+  // Length prefix only, then a pause, then the body: not an error.
+  ASSERT_TRUE(c.send_raw(f.data(), wire::kLenBytes));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(c.send_raw(f.data() + wire::kLenBytes,
+                         f.size() - wire::kLenBytes));
+  wire::Response resp;
+  ASSERT_TRUE(c.recv_response(&resp));
+  EXPECT_EQ(resp.req_id, 42u);
+  EXPECT_EQ(resp.status, wire::Status::kOk);
+  EXPECT_EQ(resp.value, 100);
+}
+
+TEST(NetTorture, ByteAtATimeRequestStillAnswers) {
+  Rig rig;
+  KvClient c = rig.client();
+  const std::vector<std::uint8_t> f = valid_get_frame(43, 8);
+  for (const std::uint8_t b : f) {
+    ASSERT_TRUE(c.send_raw(&b, 1));
+  }
+  wire::Response resp;
+  ASSERT_TRUE(c.recv_response(&resp));
+  EXPECT_EQ(resp.req_id, 43u);
+  EXPECT_EQ(resp.status, wire::Status::kOk);
+}
+
+TEST(NetTorture, MidRequestDisconnectReclaims) {
+  Rig rig;
+  const int rounds = test_env::stress_rounds(50);
+  for (int i = 0; i < rounds; ++i) {
+    KvClient c = rig.client();
+    const std::vector<std::uint8_t> f =
+        valid_get_frame(static_cast<std::uint64_t>(i), 7);
+    // Half a frame, then vanish.
+    ASSERT_TRUE(c.send_raw(f.data(), f.size() / 2));
+    c.close();
+  }
+  wait_active_conns(rig.ts, 0);
+  EXPECT_EQ(rig.ts.stats().conns_accepted, rig.ts.stats().conns_closed);
+  KvClient fresh = rig.client();
+  EXPECT_TRUE(fresh.ping(1));
+}
+
+TEST(NetTorture, PipelinedBurstAnswersEveryRequest) {
+  Rig rig;
+  KvClient c = rig.client();
+  const int kBurst = 200;
+  std::vector<std::uint8_t> burst;
+  for (int i = 1; i <= kBurst; ++i) {
+    const std::vector<std::uint8_t> f = valid_get_frame(
+        static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i % 64));
+    burst.insert(burst.end(), f.begin(), f.end());
+  }
+  ASSERT_TRUE(c.send_raw(burst.data(), burst.size()));
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < kBurst; ++i) {
+    wire::Response resp;
+    ASSERT_TRUE(c.recv_response(&resp));
+    EXPECT_EQ(resp.status, wire::Status::kOk);
+    EXPECT_EQ(resp.value, 100);
+    EXPECT_TRUE(ids.insert(resp.req_id).second);
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kBurst));
+  EXPECT_EQ(*ids.begin(), 1u);
+  EXPECT_EQ(*ids.rbegin(), static_cast<std::uint64_t>(kBurst));
+}
+
+TEST(NetTorture, GarbageFuzzNeverKillsTheServer) {
+  // Seeded random byte streams of random lengths, with a parallel honest
+  // client checking its own stream stays intact throughout.
+  Rig rig;
+  KvClient honest = rig.client();
+  util::Xorshift rng(0xF00DF00DULL);
+  const int rounds = test_env::stress_rounds(100);
+  for (int i = 0; i < rounds; ++i) {
+    KvClient fuzz = rig.client();
+    const std::size_t len = 1 + rng.next_below(200);
+    std::vector<std::uint8_t> junk(len);
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    ASSERT_TRUE(fuzz.send_raw(junk.data(), junk.size()));
+    fuzz.close();
+    if (i % 10 == 0) {
+      ASSERT_TRUE(honest.ping(i));
+      auto v = honest.get(static_cast<std::uint64_t>(i % 64));
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, 100);
+    }
+  }
+  wait_active_conns(rig.ts, 1);  // only the honest client remains
+  const KvClient::Result scan = honest.scan();
+  EXPECT_TRUE(scan.ok());
+  EXPECT_EQ(scan.count, 64u);
+}
+
+TEST(NetTorture, SlowConsumerIsShedThenClosed) {
+  // A client that pipelines hard but never reads must first see sheds
+  // accounted, then be disconnected once the out-buffer passes 4x the
+  // watermark — and the server stays healthy for others.
+  NetConfig ncfg;
+  ncfg.write_high_watermark = 1 << 10;  // tiny, to hit the limits fast
+  Rig rig(ncfg);
+  KvClient c = rig.client();
+
+  std::vector<std::uint8_t> burst;
+  for (int i = 1; i <= 2000; ++i) {
+    const std::vector<std::uint8_t> f = valid_get_frame(
+        static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i % 64));
+    burst.insert(burst.end(), f.begin(), f.end());
+  }
+  // Never read; keep writing until the server hangs up on us.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (c.connected() && std::chrono::steady_clock::now() < deadline) {
+    if (!c.send_raw(burst.data(), burst.size())) break;
+  }
+  const auto stats_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (rig.ts.stats().slow_consumer_closed == 0 &&
+         std::chrono::steady_clock::now() < stats_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(rig.ts.stats().slow_consumer_closed, 1u);
+
+  KvClient fresh = rig.client();
+  EXPECT_TRUE(fresh.ping(1));
+}
+
+}  // namespace
+}  // namespace zstm::net
